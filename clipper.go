@@ -1,0 +1,175 @@
+// Package clipper is a Go implementation of Clipper, the low-latency
+// online prediction serving system of Crankshaw et al. (NSDI 2017).
+//
+// Clipper interposes between applications and machine-learning models. Its
+// model abstraction layer provides a prediction cache, adaptive batching
+// tuned to a latency SLO, and a uniform batch-prediction RPC to model
+// containers; its model selection layer uses bandit algorithms (Exp3,
+// Exp4) over application feedback to select and combine models, estimate
+// confidence, mitigate stragglers, and personalize selection per context.
+//
+// # Quickstart
+//
+//	cl := clipper.New(clipper.Config{})
+//	defer cl.Close()
+//
+//	// Deploy a model (any container.Predictor) behind an adaptive queue.
+//	cl.DeployPredictor(myModel, clipper.QueueConfig{
+//	    Controller: clipper.NewAIMD(clipper.AIMDConfig{SLO: 20 * time.Millisecond}),
+//	})
+//
+//	// Register an application over it and predict.
+//	app, _ := cl.RegisterApp(clipper.AppConfig{
+//	    Name: "demo", Models: []string{"my-model"}, Policy: clipper.NewExp3(0.1),
+//	})
+//	resp, _ := app.Predict(ctx, features)
+//
+// See examples/ for complete programs and DESIGN.md for the architecture.
+package clipper
+
+import (
+	"time"
+
+	"clipper/internal/batching"
+	"clipper/internal/container"
+	"clipper/internal/core"
+	"clipper/internal/frontend"
+	"clipper/internal/selection"
+	"clipper/internal/statestore"
+)
+
+// Core serving types.
+type (
+	// Clipper is one serving node; see core.Clipper.
+	Clipper = core.Clipper
+	// Config parameterizes New.
+	Config = core.Config
+	// AppConfig declares an application.
+	AppConfig = core.AppConfig
+	// Application is a registered application handle.
+	Application = core.Application
+	// Response is a prediction answer.
+	Response = core.Response
+	// CascadeConfig enables two-stage cascade serving (model
+	// composition): cheap models answer confident queries, the rest
+	// escalate to the full policy.
+	CascadeConfig = core.CascadeConfig
+	// HealthConfig parameterizes replica health monitoring.
+	HealthConfig = core.HealthConfig
+)
+
+// Model container types.
+type (
+	// Predictor is the uniform batch-prediction interface models
+	// implement (paper Listing 1).
+	Predictor = container.Predictor
+	// Prediction is one model output.
+	Prediction = container.Prediction
+	// ModelInfo describes a deployed model.
+	ModelInfo = container.Info
+)
+
+// Batching types.
+type (
+	// QueueConfig parameterizes a replica's batching queue.
+	QueueConfig = batching.QueueConfig
+	// Controller chooses batch sizes.
+	Controller = batching.Controller
+	// AIMDConfig parameterizes NewAIMD.
+	AIMDConfig = batching.AIMDConfig
+	// QuantileRegConfig parameterizes NewQuantileReg.
+	QuantileRegConfig = batching.QuantileRegConfig
+)
+
+// Selection types.
+type (
+	// Policy is the model selection policy interface (paper Listing 2).
+	Policy = selection.Policy
+	// SelectionState is a policy's explicit, serializable state.
+	SelectionState = selection.State
+)
+
+// Store is the per-context selection-state store interface.
+type Store = statestore.Store
+
+// RESTServer is the application-facing HTTP API server.
+type RESTServer = frontend.Server
+
+// New returns a Clipper serving node.
+func New(cfg Config) *Clipper { return core.New(cfg) }
+
+// NewAIMD returns Clipper's default adaptive batch-size controller.
+func NewAIMD(cfg AIMDConfig) Controller { return batching.NewAIMD(cfg) }
+
+// NewQuantileReg returns the quantile-regression batch-size controller.
+func NewQuantileReg(cfg QuantileRegConfig) Controller { return batching.NewQuantileReg(cfg) }
+
+// NewFixedBatch returns a static batch-size controller (1 = no batching).
+func NewFixedBatch(n int) Controller { return batching.NewFixed(n) }
+
+// NewExp3 returns the single-model bandit selection policy (paper §5.1).
+func NewExp3(eta float64) Policy { return selection.NewExp3(eta) }
+
+// NewExp4 returns the ensemble bandit selection policy (paper §5.2).
+func NewExp4(eta float64) Policy { return selection.NewExp4(eta) }
+
+// NewStaticPolicy returns a policy pinned to one model index.
+func NewStaticPolicy(i int) Policy { return selection.NewStatic(i) }
+
+// NewExp3Decayed returns Exp3 with forgetting: weight mass decays toward
+// uniform so the policy recovers from model-quality flips in bounded time
+// (non-stationary workloads / concept drift).
+func NewExp3Decayed(eta, gamma float64) Policy { return selection.NewExp3Decayed(eta, gamma) }
+
+// NewUCB1 returns the UCB1 single-model selection policy, a
+// stochastic-bandit alternative to Exp3 that converges faster on
+// stationary workloads.
+func NewUCB1() Policy { return selection.NewUCB1() }
+
+// NewThompson returns the Thompson-sampling single-model selection policy.
+func NewThompson() Policy { return selection.NewThompson() }
+
+// NewEpsilonGreedy returns an epsilon-greedy single-model selection policy.
+func NewEpsilonGreedy(epsilon, alpha float64) Policy {
+	return selection.NewEpsilonGreedy(epsilon, alpha)
+}
+
+// NewMemStore returns an in-memory selection-state store.
+func NewMemStore() Store { return statestore.NewMemStore() }
+
+// OpenFileStore returns a durable selection-state store backed by an
+// append-only log at path, so per-context personalization survives
+// restarts.
+func OpenFileStore(path string) (Store, error) { return statestore.OpenFileStore(path) }
+
+// DialStateStore connects to a remote statestore server (the Redis
+// substitute).
+func DialStateStore(addr string, timeout time.Duration) (Store, error) {
+	return statestore.DialStore(addr, timeout)
+}
+
+// NewRESTServer returns the REST API frontend over a Clipper node.
+func NewRESTServer(cl *Clipper) *RESTServer { return frontend.NewServer(cl) }
+
+// ServeContainer hosts a Predictor as a standalone RPC model container on
+// addr (":0" picks a port) and returns the bound address and a shutdown
+// function. Run it in the model's own process for Docker-like isolation.
+func ServeContainer(p Predictor, addr string) (string, func() error, error) {
+	bound, srv, err := container.Serve(p, addr)
+	if err != nil {
+		return "", nil, err
+	}
+	return bound, srv.Close, nil
+}
+
+// DialContainer connects to a remote model container; the result is a
+// Predictor deployable with (*Clipper).Deploy.
+func DialContainer(addr string, timeout time.Duration) (*container.Remote, error) {
+	return container.Dial(addr, timeout)
+}
+
+// DefaultQueueConfig returns an adaptive AIMD queue tuned to the given
+// latency SLO — the deployment most users want.
+func DefaultQueueConfig(slo time.Duration) QueueConfig {
+	return QueueConfig{Controller: NewAIMD(AIMDConfig{SLO: slo})}
+}

@@ -1,0 +1,149 @@
+// Command clipper starts a Clipper serving node with a demonstration
+// deployment: several models trained on a synthetic object-recognition
+// task, an Exp4 ensemble application, and the REST API.
+//
+// Usage:
+//
+//	clipper -addr :8080 -slo 20ms
+//
+// Then:
+//
+//	curl -s localhost:8080/api/v1/apps
+//	curl -s -X POST localhost:8080/api/v1/predict \
+//	    -d '{"app":"demo","input":[0.1, ... 64 floats ...]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"clipper"
+	"clipper/internal/dataset"
+	"clipper/internal/frameworks"
+	"clipper/internal/models"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "REST API listen address")
+		slo        = flag.Duration("slo", 20*time.Millisecond, "prediction latency SLO")
+		trainN     = flag.Int("train", 2000, "synthetic training examples")
+		dim        = flag.Int("dim", 64, "feature dimensionality")
+		classes    = flag.Int("classes", 10, "number of classes")
+		containers = flag.String("containers", "", "comma-separated remote model container addresses to deploy")
+		storeAddr  = flag.String("store", "", "remote statestore address (empty = in-memory)")
+		statePath  = flag.String("state-file", "", "durable local state file (ignored when -store is set)")
+		noDemo     = flag.Bool("no-demo", false, "skip training/deploying the demo models")
+		health     = flag.Duration("health-interval", time.Second, "replica health probe interval (0 disables)")
+	)
+	flag.Parse()
+
+	// Selection-state store: remote (the Redis role), durable file, or
+	// in-memory.
+	var store clipper.Store
+	switch {
+	case *storeAddr != "":
+		s, err := clipper.DialStateStore(*storeAddr, 5*time.Second)
+		if err != nil {
+			log.Fatalf("dialing state store %s: %v", *storeAddr, err)
+		}
+		store = s
+		log.Printf("using remote state store at %s", *storeAddr)
+	case *statePath != "":
+		s, err := clipper.OpenFileStore(*statePath)
+		if err != nil {
+			log.Fatalf("opening state file %s: %v", *statePath, err)
+		}
+		store = s
+		log.Printf("using durable state file %s", *statePath)
+	}
+
+	cl := clipper.New(clipper.Config{Store: store})
+	defer cl.Close()
+
+	var names []string
+	if !*noDemo {
+		log.Printf("training demonstration models (n=%d dim=%d classes=%d)...", *trainN, *dim, *classes)
+		ds := dataset.Gaussian(dataset.GaussianConfig{
+			Name: "demo", N: *trainN, Dim: *dim, NumClasses: *classes,
+			Separation: 3.0, Noise: 1.0, LabelNoise: 0.03, Seed: 42,
+		})
+		train, test := ds.Split(0.8, 7)
+
+		type deployment struct {
+			model   models.Model
+			profile frameworks.Profile
+		}
+		deployments := []deployment{
+			{models.TrainLinearSVM("linear-svm", train, models.DefaultLinearConfig()), frameworks.SKLearnLinearSVM()},
+			{models.TrainLogisticRegression("log-regression", train, models.DefaultLinearConfig()), frameworks.SKLearnLogisticRegression()},
+			{models.TrainRandomForest("random-forest", train, models.DefaultTreeConfig()), frameworks.SKLearnRandomForest()},
+		}
+		for i, d := range deployments {
+			pred := frameworks.NewSimPredictor(d.model, d.profile, *dim, int64(i+1))
+			if _, err := cl.Deploy(pred, nil, clipper.DefaultQueueConfig(*slo)); err != nil {
+				log.Fatalf("deploy %s: %v", d.model.Name(), err)
+			}
+			acc := models.Accuracy(d.model, test.X, test.Y)
+			log.Printf("deployed %-16s (test accuracy %.3f, profile %s)", d.model.Name(), acc, d.profile.Name)
+			names = append(names, d.model.Name())
+		}
+	}
+
+	// Attach remote model containers (the Docker-style deployment).
+	if *containers != "" {
+		for _, caddr := range strings.Split(*containers, ",") {
+			caddr = strings.TrimSpace(caddr)
+			if caddr == "" {
+				continue
+			}
+			remote, err := clipper.DialContainer(caddr, 5*time.Second)
+			if err != nil {
+				log.Fatalf("dialing container %s: %v", caddr, err)
+			}
+			if _, err := cl.Deploy(remote, func() { remote.Close() },
+				clipper.DefaultQueueConfig(*slo)); err != nil {
+				log.Fatalf("deploying container %s: %v", caddr, err)
+			}
+			log.Printf("deployed remote container %s (%s)", remote.Info(), caddr)
+			names = append(names, remote.Info().Name)
+		}
+	}
+	if len(names) == 0 {
+		log.Fatal("nothing to serve: pass -containers or drop -no-demo")
+	}
+
+	if _, err := cl.RegisterApp(clipper.AppConfig{
+		Name:   "demo",
+		Models: names,
+		Policy: clipper.NewExp4(0.3),
+		SLO:    *slo,
+	}); err != nil {
+		log.Fatalf("register app: %v", err)
+	}
+
+	if *health > 0 {
+		mon := cl.StartHealthMonitor(clipper.HealthConfig{Interval: *health})
+		defer mon.Stop()
+	}
+
+	rest := clipper.NewRESTServer(cl)
+	bound, err := rest.Listen(*addr)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *addr, err)
+	}
+	defer rest.Close()
+	log.Printf("Clipper serving app %q on http://%s (SLO %v)", "demo", bound, *slo)
+	fmt.Printf("try: curl -s http://%s/api/v1/apps\n", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+}

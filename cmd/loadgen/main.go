@@ -1,0 +1,122 @@
+// Command loadgen drives a Clipper REST endpoint with a prediction
+// workload and reports throughput and latency, like the serving drivers in
+// the paper's evaluation.
+//
+// Usage:
+//
+//	loadgen -target http://localhost:8080 -app demo -dim 64 -rate 500 -duration 10s
+//	loadgen -target http://localhost:8080 -app demo -dim 64 -workers 32 -duration 10s
+//
+// With -rate the arrivals are open-loop Poisson; with -workers (and rate 0)
+// the load is a closed loop of that many clients.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"clipper/internal/frontend"
+	"clipper/internal/metrics"
+	"clipper/internal/workload"
+)
+
+func main() {
+	var (
+		target   = flag.String("target", "http://localhost:8080", "Clipper REST base URL")
+		app      = flag.String("app", "demo", "application name")
+		dim      = flag.Int("dim", 64, "feature dimensionality")
+		rate     = flag.Float64("rate", 0, "open-loop arrival rate (qps); 0 = closed loop")
+		workers  = flag.Int("workers", 16, "closed-loop worker count")
+		duration = flag.Duration("duration", 10*time.Second, "load duration")
+		feedback = flag.Float64("feedback", 0, "fraction of queries followed by feedback")
+		seed     = flag.Int64("seed", 1, "input generation seed")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	pool := make([][]float64, 256)
+	for i := range pool {
+		x := make([]float64, *dim)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		pool[i] = x
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	lat := metrics.NewHistogram()
+	errors := &metrics.Counter{}
+	meter := metrics.NewMeter()
+
+	issue := func(workerSeed int) {
+		x := pool[rand.Intn(len(pool))]
+		start := time.Now()
+		label, err := postPredict(client, *target, *app, x)
+		if err != nil {
+			errors.Inc()
+			return
+		}
+		lat.ObserveDuration(time.Since(start))
+		meter.Mark(1)
+		if *feedback > 0 && rand.Float64() < *feedback {
+			postFeedback(client, *target, *app, x, label)
+		}
+		_ = workerSeed
+	}
+
+	log.Printf("driving %s app=%q for %v", *target, *app, *duration)
+	start := time.Now()
+	if *rate > 0 {
+		workload.RunOpenLoop(context.Background(), *rate, *duration, *seed, func() { issue(0) })
+	} else {
+		ctx, cancel := context.WithTimeout(context.Background(), *duration)
+		defer cancel()
+		workload.RunClosedLoop(ctx, *workers, 0, issue)
+	}
+	elapsed := time.Since(start)
+
+	snap := lat.Snapshot()
+	fmt.Printf("completed=%d errors=%d throughput=%.1f qps\n",
+		snap.Count, errors.Value(), float64(snap.Count)/elapsed.Seconds())
+	fmt.Printf("latency mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
+		snap.Mean*1e3, snap.P50*1e3, snap.P95*1e3, snap.P99*1e3, snap.Max*1e3)
+}
+
+func postPredict(client *http.Client, base, app string, x []float64) (int, error) {
+	body, err := json.Marshal(frontend.PredictRequest{App: app, Input: x})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Post(base+"/api/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var pr frontend.PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return 0, err
+	}
+	return pr.Label, nil
+}
+
+func postFeedback(client *http.Client, base, app string, x []float64, label int) {
+	body, err := json.Marshal(frontend.FeedbackRequest{App: app, Input: x, Label: label})
+	if err != nil {
+		return
+	}
+	resp, err := client.Post(base+"/api/v1/feedback", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	resp.Body.Close()
+}

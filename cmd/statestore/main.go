@@ -1,0 +1,37 @@
+// Command statestore runs the standalone selection-state store — the
+// deployment role Redis fills in the paper (§5.3). Clipper nodes connect
+// with clipper.DialStateStore and keep per-context selection state here so
+// it survives node restarts and is shared across nodes.
+//
+// Usage:
+//
+//	statestore -addr :6379
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"clipper/internal/statestore"
+)
+
+func main() {
+	addr := flag.String("addr", ":6379", "listen address")
+	flag.Parse()
+
+	srv := statestore.NewServer(statestore.NewMemStore())
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *addr, err)
+	}
+	defer srv.Close()
+	log.Printf("state store serving on %s", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+}

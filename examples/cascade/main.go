@@ -1,0 +1,83 @@
+// Cascade serving (model composition) — a cheap linear model answers the
+// queries it is confident about; only uncertain queries escalate to an
+// expensive boosted-tree ensemble. The application keeps the ensemble's
+// accuracy at a fraction of its latency.
+//
+// Run with:
+//
+//	go run ./examples/cascade
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"clipper"
+	"clipper/internal/dataset"
+	"clipper/internal/frameworks"
+	"clipper/internal/models"
+)
+
+func main() {
+	ds := dataset.Gaussian(dataset.GaussianConfig{
+		Name: "cascade-demo", N: 2500, Dim: 32, NumClasses: 4,
+		Separation: 3.0, Noise: 1.1, LabelNoise: 0.03, Seed: 17,
+	})
+	train, test := ds.Split(0.8, 3)
+
+	cheap := models.TrainLogisticRegression("cheap-linear", train, models.DefaultLinearConfig())
+	heavy := models.TrainGBDT("heavy-gbdt", train, models.DefaultGBDTConfig())
+	fmt.Printf("cheap model accuracy: %.3f\n", models.Accuracy(cheap, test.X, test.Y))
+	fmt.Printf("heavy model accuracy: %.3f\n", models.Accuracy(heavy, test.X, test.Y))
+
+	cl := clipper.New(clipper.Config{CacheSize: -1}) // measure models, not the cache
+	defer cl.Close()
+	deploy := func(m models.Model, fixed, perItem time.Duration, seed int64) {
+		pred := frameworks.NewSimPredictor(m, frameworks.Profile{
+			Name: m.Name(), Fixed: fixed, PerItem: perItem,
+		}, ds.Dim, seed)
+		if _, err := cl.Deploy(pred, nil, clipper.DefaultQueueConfig(20*time.Millisecond)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	deploy(cheap, 150*time.Microsecond, 10*time.Microsecond, 1)
+	deploy(heavy, 300*time.Microsecond, 1500*time.Microsecond, 2)
+
+	run := func(name string, cascade *clipper.CascadeConfig) {
+		appName := name
+		app, err := cl.RegisterApp(clipper.AppConfig{
+			Name:    appName,
+			Models:  []string{"cheap-linear", "heavy-gbdt"},
+			Policy:  clipper.NewExp4(0.3),
+			Cascade: cascade,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctx := context.Background()
+		correct, stage1 := 0, 0
+		const queries = 400
+		for i := 0; i < queries; i++ {
+			idx := i % test.Len()
+			resp, err := app.Predict(ctx, test.X[idx])
+			if err != nil {
+				log.Fatal(err)
+			}
+			if resp.Label == test.Y[idx] {
+				correct++
+			}
+			if resp.Stage == 1 {
+				stage1++
+			}
+		}
+		snap := app.PredLatency.Snapshot()
+		fmt.Printf("%-24s accuracy=%.3f  mean-latency=%6.3fms  cheap-path=%3.0f%%\n",
+			name, float64(correct)/queries, snap.Mean*1e3, 100*float64(stage1)/queries)
+	}
+
+	run("full-ensemble", nil)
+	run("cascade-0.85", &clipper.CascadeConfig{First: []int{0}, Threshold: 0.85})
+	run("cascade-0.60", &clipper.CascadeConfig{First: []int{0}, Threshold: 0.60})
+}

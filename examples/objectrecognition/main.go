@@ -1,0 +1,112 @@
+// Object recognition with an adaptive ensemble — the paper's motivating
+// computer-vision scenario (§2.1). Five models of varying accuracy are
+// deployed; an Exp4 ensemble application serves predictions with
+// confidence estimates and robust defaults, learns from feedback, and
+// survives a simulated failure of its best model (Figure 8's scenario).
+//
+// Run with:
+//
+//	go run ./examples/objectrecognition
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"clipper"
+	"clipper/internal/dataset"
+	"clipper/internal/frameworks"
+	"clipper/internal/models"
+	"clipper/internal/workload"
+)
+
+func main() {
+	// A CIFAR-like object recognition task (reduced dims for a fast demo).
+	ds := dataset.Gaussian(dataset.GaussianConfig{
+		Name: "objects", N: 2500, Dim: 96, NumClasses: 10,
+		Separation: 3.2, Noise: 1.0, LabelNoise: 0.04, Seed: 33,
+	})
+	train, test := ds.Split(0.8, 5)
+
+	cl := clipper.New(clipper.Config{})
+	defer cl.Close()
+
+	// Deploy the Table 2 ensemble stand-ins, each behind its own
+	// container and adaptive queue; keep handles to inject a failure.
+	ensemble := models.TrainEnsemble(train)
+	names := make([]string, len(ensemble))
+	degradables := make([]*workload.Degradable, len(ensemble))
+	for i, m := range ensemble {
+		pred := frameworks.NewSimPredictor(m, frameworks.SKLearnLogisticRegression(), ds.Dim, int64(i))
+		deg := workload.NewDegradable(pred, ds.NumClasses, int64(i+50))
+		if _, err := cl.Deploy(deg, nil, clipper.DefaultQueueConfig(20*time.Millisecond)); err != nil {
+			log.Fatal(err)
+		}
+		names[i] = m.Name()
+		degradables[i] = deg
+		fmt.Printf("deployed %-18s accuracy %.3f\n", m.Name(), models.Accuracy(m, test.X, test.Y))
+	}
+
+	app, err := cl.RegisterApp(clipper.AppConfig{
+		Name:                "object-recognition",
+		Models:              names,
+		Policy:              clipper.NewExp4(0.4),
+		SLO:                 50 * time.Millisecond,
+		ConfidenceThreshold: 0.6,
+		DefaultLabel:        -1, // "don't know" — the sensible default action
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Each phase uses fresh queries: repeated inputs would be answered
+	// from the prediction cache (by design — selection happens above the
+	// cache), which would hide the injected failure from this demo.
+	ctx := context.Background()
+	nextQuery := 0
+	phase := func(name string, queries int) {
+		correct, defaults := 0, 0
+		for i := 0; i < queries; i++ {
+			idx := nextQuery % test.Len()
+			nextQuery++
+			x, truth := test.X[idx], test.Y[idx]
+			resp, err := app.Predict(ctx, x)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if resp.UsedDefault {
+				defaults++
+			} else if resp.Label == truth {
+				correct++
+			}
+			if err := app.Feedback(ctx, x, truth); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("%-22s accuracy=%.3f (of answered)  declined=%d/%d\n",
+			name, float64(correct)/float64(queries-defaults), defaults, queries)
+	}
+
+	phase("healthy ensemble:", 300)
+
+	// Degrade the best model; the ensemble policy compensates via
+	// feedback without human intervention.
+	best := 0
+	bestAcc := 0.0
+	for i, m := range ensemble {
+		if acc := models.Accuracy(m, test.X, test.Y); acc > bestAcc {
+			best, bestAcc = i, acc
+		}
+	}
+	degradables[best].SetDegraded(true)
+	fmt.Printf("\n!! degrading %s\n", names[best])
+	phase("degraded, adapting:", 300)
+	degradables[best].SetDegraded(false)
+	fmt.Printf("\n!! %s recovered\n", names[best])
+	phase("recovered:", 300)
+
+	state, _ := app.State("")
+	fmt.Printf("\nfinal ensemble weights: %v\n", state.Weights)
+}

@@ -1,0 +1,72 @@
+// Quickstart: deploy one model, register an application, predict, and send
+// feedback — the minimal Clipper workflow.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"clipper"
+	"clipper/internal/dataset"
+	"clipper/internal/frameworks"
+	"clipper/internal/models"
+)
+
+func main() {
+	// 1. Train a model. Any container.Predictor works; here a linear SVM
+	// on a synthetic digit-like task, wrapped in a Scikit-Learn-style
+	// latency profile.
+	ds := dataset.MNISTLike(2000, 42)
+	train, test := ds.Split(0.8, 7)
+	svm := models.TrainLinearSVM("digits-svm", train, models.DefaultLinearConfig())
+	fmt.Printf("trained %s: test accuracy %.3f\n", svm.Name(), models.Accuracy(svm, test.X, test.Y))
+
+	// 2. Start Clipper and deploy the model behind an adaptive batching
+	// queue with a 20ms latency SLO.
+	cl := clipper.New(clipper.Config{})
+	defer cl.Close()
+	pred := frameworks.NewSimPredictor(svm, frameworks.SKLearnLinearSVM(), ds.Dim, 1)
+	if _, err := cl.Deploy(pred, nil, clipper.DefaultQueueConfig(20*time.Millisecond)); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Register an application over the model.
+	app, err := cl.RegisterApp(clipper.AppConfig{
+		Name:   "quickstart",
+		Models: []string{"digits-svm"},
+		Policy: clipper.NewExp3(0.1),
+		SLO:    50 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Predict and send feedback.
+	ctx := context.Background()
+	correct := 0
+	for i := 0; i < 50; i++ {
+		x, truth := test.X[i], test.Y[i]
+		resp, err := app.Predict(ctx, x)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if resp.Label == truth {
+			correct++
+		}
+		if err := app.Feedback(ctx, x, truth); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("served 50 predictions: %d correct, latency %s\n",
+		correct, app.PredLatency.Snapshot())
+
+	// 5. The prediction cache made the feedback joins free.
+	hits, misses := cl.Cache().Stats()
+	fmt.Printf("prediction cache: %d hits, %d misses\n", hits, misses)
+}

@@ -1,0 +1,101 @@
+// Speech personalization — the paper's TIMIT scenario (§5.3, Figure 10).
+// Dialect-specific phoneme models plus a dialect-oblivious model are
+// deployed; per-user selection contexts let Clipper learn each user's best
+// model (or combination) from feedback, beating both a one-size-fits-all
+// model and the user's nominal dialect model.
+//
+// Run with:
+//
+//	go run ./examples/speechpersonalization
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"clipper"
+	"clipper/internal/dataset"
+	"clipper/internal/frameworks"
+	"clipper/internal/models"
+)
+
+func main() {
+	cfg := dataset.SpeechConfig{
+		N: 5000, NumDialects: 4, NumSpeakers: 80, Dim: 64, NumPhonemes: 12, Seed: 10,
+	}
+	ds := dataset.SpeechLike(cfg)
+	train, test := ds.Split(0.75, 3)
+
+	cl := clipper.New(clipper.Config{})
+	defer cl.Close()
+
+	// One model per dialect plus a dialect-oblivious model.
+	lcfg := models.LinearConfig{Epochs: 4, LearningRate: 0.05, Lambda: 1e-4, Seed: 2}
+	names := make([]string, 0, cfg.NumDialects+1)
+	for d := 0; d < cfg.NumDialects; d++ {
+		m := models.TrainLogisticRegression(fmt.Sprintf("dialect-%d", d), train.FilterGroup(d), lcfg)
+		deploy(cl, m, ds.Dim, int64(d))
+		names = append(names, m.Name())
+	}
+	oblivious := models.TrainLogisticRegression("no-dialect", train, lcfg)
+	deploy(cl, oblivious, ds.Dim, 99)
+	names = append(names, oblivious.Name())
+
+	app, err := cl.RegisterApp(clipper.AppConfig{
+		Name:   "speech",
+		Models: names,
+		Policy: clipper.NewExp4(0.5),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulate users: each has a dialect and interacts with the service,
+	// providing feedback (corrected transcriptions).
+	ctx := context.Background()
+	const users, interactions = 24, 20
+	wrongEarly, wrongLate, early, late := 0, 0, 0, 0
+	for u := 0; u < users; u++ {
+		dialect := u % cfg.NumDialects
+		userData := test.FilterGroup(dialect).Subsample(interactions, int64(u))
+		userID := fmt.Sprintf("user-%d", u)
+		for k := 0; k < userData.Len(); k++ {
+			x, truth := userData.X[k], userData.Y[k]
+			resp, err := app.PredictContext(ctx, userID, x)
+			if err != nil {
+				log.Fatal(err)
+			}
+			wrong := 0
+			if resp.Label != truth {
+				wrong = 1
+			}
+			if k < interactions/2 {
+				early++
+				wrongEarly += wrong
+			} else {
+				late++
+				wrongLate += wrong
+			}
+			if err := app.FeedbackContext(ctx, userID, x, truth); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("per-user personalization over %d users:\n", users)
+	fmt.Printf("  error in first %d interactions: %.3f\n", interactions/2, float64(wrongEarly)/float64(early))
+	fmt.Printf("  error in last  %d interactions: %.3f\n", interactions/2, float64(wrongLate)/float64(late))
+
+	// Peek at one user's learned state: the weight mass should sit on
+	// the models that fit their dialect.
+	state, _ := app.State("user-0")
+	fmt.Printf("user-0 (dialect 0) model weights: %.3f\n", state.Weights)
+}
+
+func deploy(cl *clipper.Clipper, m models.Model, dim int, seed int64) {
+	pred := frameworks.NewSimPredictor(m, frameworks.SKLearnLogisticRegression(), dim, seed)
+	if _, err := cl.Deploy(pred, nil, clipper.DefaultQueueConfig(20*time.Millisecond)); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+// Package baseline implements a TensorFlow-Serving-like prediction server
+// (paper §6): a single model, tightly coupled in-process (no container
+// RPC, no cross-process serialization), with a statically sized batch queue
+// dispatched by a pure timeout mechanism and no latency-SLO awareness.
+//
+// The paper compares Clipper to TensorFlow Serving on three object
+// recognition models and finds near-parity; this baseline reproduces the
+// architectural contrasts the comparison measures: static vs adaptive
+// batching, and in-process model evaluation vs decoupled containers. See
+// DESIGN.md §4.
+package baseline
+
+import (
+	"context"
+	"time"
+
+	"clipper/internal/batching"
+	"clipper/internal/container"
+	"clipper/internal/metrics"
+)
+
+// Config parameterizes a TFServing instance.
+type Config struct {
+	// BatchSize is the hand-tuned static batch size (the paper uses 512
+	// for MNIST, 128 for CIFAR, 16 for ImageNet). Required.
+	BatchSize int
+	// BatchTimeout is the starvation-avoidance timeout: a non-full batch
+	// dispatches after this delay. Zero selects 1ms.
+	BatchTimeout time.Duration
+	// QueueDepth bounds queued requests; 0 selects 8192.
+	QueueDepth int
+}
+
+// TFServing is the baseline serving system. It reuses the batching queue
+// machinery with a Fixed controller — precisely TensorFlow Serving's
+// static-batch, timeout-dispatched design — but evaluates the model
+// in-process with no RPC boundary.
+type TFServing struct {
+	queue *batching.Queue
+	model container.Predictor
+
+	// Latency is the end-to-end request latency histogram.
+	Latency *metrics.Histogram
+	// Throughput counts completed predictions.
+	Throughput *metrics.Meter
+}
+
+// New returns a baseline server over the in-process model.
+func New(model container.Predictor, cfg Config) *TFServing {
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 1
+	}
+	if cfg.BatchTimeout <= 0 {
+		cfg.BatchTimeout = time.Millisecond
+	}
+	return &TFServing{
+		queue: batching.NewQueue(model, batching.QueueConfig{
+			Controller:   batching.NewFixed(cfg.BatchSize),
+			BatchTimeout: cfg.BatchTimeout,
+			Depth:        cfg.QueueDepth,
+		}),
+		model:      model,
+		Latency:    metrics.NewHistogram(),
+		Throughput: metrics.NewMeter(),
+	}
+}
+
+// Predict renders one prediction, blocking until its batch completes.
+func (s *TFServing) Predict(ctx context.Context, x []float64) (container.Prediction, error) {
+	start := time.Now()
+	p, err := s.queue.Submit(ctx, x)
+	if err != nil {
+		return container.Prediction{}, err
+	}
+	s.Latency.ObserveDuration(time.Since(start))
+	s.Throughput.Mark(1)
+	return p, nil
+}
+
+// Queue exposes the underlying batch queue's telemetry.
+func (s *TFServing) Queue() *batching.Queue { return s.queue }
+
+// Close shuts the server down.
+func (s *TFServing) Close() { s.queue.Close() }

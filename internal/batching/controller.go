@@ -1,0 +1,257 @@
+// Package batching implements Clipper's adaptive query batching (paper
+// §4.3): per-replica queues that aggregate point queries into mini-batches
+// sized to maximize throughput subject to a latency service level
+// objective.
+//
+// Two adaptive controllers choose the maximum batch size: an
+// additive-increase/multiplicative-decrease (AIMD) scheme — Clipper's
+// default — and a quantile-regression scheme that fits the P99
+// latency-vs-batch-size line and inverts it at the SLO. Fixed and
+// no-batching controllers serve as baselines. Delayed batching (§4.3.2)
+// optionally holds a non-full batch briefly so bursty workloads can fill
+// it, analogous to Nagle's algorithm.
+package batching
+
+import (
+	"sync"
+	"time"
+
+	"clipper/internal/quantile"
+)
+
+// Controller chooses the maximum batch size for one model-container
+// replica. Implementations must be safe for concurrent use.
+type Controller interface {
+	// Name identifies the strategy in reports, e.g. "aimd".
+	Name() string
+	// MaxBatch returns the current batch size cap (always >= 1).
+	MaxBatch() int
+	// Observe reports a dispatched batch's size and measured latency.
+	Observe(batch int, latency time.Duration)
+}
+
+// AIMD is Clipper's default adaptive controller: additively grow the batch
+// cap while probed latencies stay under the SLO, and back off
+// multiplicatively by a small factor (paper: 10%) when a batch overruns it.
+type AIMD struct {
+	slo      time.Duration
+	additive int
+	backoff  float64
+	ceiling  int
+
+	mu  sync.Mutex
+	cap float64
+}
+
+// AIMDConfig parameterizes NewAIMD. Zero values select paper defaults.
+type AIMDConfig struct {
+	// SLO is the batch-latency objective. Required.
+	SLO time.Duration
+	// Additive is the per-probe increase; 0 selects 1.
+	Additive int
+	// Backoff is the multiplicative decrease factor in (0,1); 0 selects
+	// 0.9 (the paper's "small" 10% backoff, contrasted with TCP's 0.5).
+	Backoff float64
+	// Ceiling bounds the cap; 0 selects 4096.
+	Ceiling int
+	// Initial is the starting cap; 0 selects 1.
+	Initial int
+}
+
+// NewAIMD returns an AIMD controller for the given SLO.
+func NewAIMD(cfg AIMDConfig) *AIMD {
+	if cfg.Additive <= 0 {
+		cfg.Additive = 1
+	}
+	if cfg.Backoff <= 0 || cfg.Backoff >= 1 {
+		cfg.Backoff = 0.9
+	}
+	if cfg.Ceiling <= 0 {
+		cfg.Ceiling = 4096
+	}
+	if cfg.Initial <= 0 {
+		cfg.Initial = 1
+	}
+	return &AIMD{
+		slo:      cfg.SLO,
+		additive: cfg.Additive,
+		backoff:  cfg.Backoff,
+		ceiling:  cfg.Ceiling,
+		cap:      float64(cfg.Initial),
+	}
+}
+
+// Name implements Controller.
+func (a *AIMD) Name() string { return "aimd" }
+
+// MaxBatch implements Controller.
+func (a *AIMD) MaxBatch() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return int(a.cap)
+}
+
+// Observe implements Controller. A batch over the SLO triggers the
+// multiplicative backoff; a full-cap batch under the SLO probes upward.
+// Under-cap batches under the SLO carry no information about the cap and
+// are ignored.
+func (a *AIMD) Observe(batch int, latency time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if latency > a.slo {
+		a.cap *= a.backoff
+		if a.cap < 1 {
+			a.cap = 1
+		}
+		return
+	}
+	if batch >= int(a.cap) && int(a.cap) < a.ceiling {
+		a.cap += float64(a.additive)
+		if a.cap > float64(a.ceiling) {
+			a.cap = float64(a.ceiling)
+		}
+	}
+}
+
+// QuantileReg sizes batches by fitting the tau-quantile of latency as a
+// linear function of batch size over a sliding window of observations and
+// inverting the fit at the SLO (paper §4.3.1's alternative strategy).
+type QuantileReg struct {
+	slo      time.Duration
+	tau      float64
+	refitN   int
+	ceiling  int
+	windowSz int
+
+	mu       sync.Mutex
+	sizes    []float64
+	lats     []float64
+	next     int
+	full     bool
+	sinceFit int
+	cap      int
+}
+
+// QuantileRegConfig parameterizes NewQuantileReg. Zero values select
+// defaults.
+type QuantileRegConfig struct {
+	// SLO is the batch-latency objective. Required.
+	SLO time.Duration
+	// Tau is the latency quantile to bound; 0 selects 0.99.
+	Tau float64
+	// Window is the observation window size; 0 selects 512.
+	Window int
+	// RefitEvery is the number of observations between refits; 0
+	// selects 32.
+	RefitEvery int
+	// Ceiling bounds the cap; 0 selects 4096.
+	Ceiling int
+	// Initial is the starting cap; 0 selects 1.
+	Initial int
+}
+
+// NewQuantileReg returns a quantile-regression controller.
+func NewQuantileReg(cfg QuantileRegConfig) *QuantileReg {
+	if cfg.Tau <= 0 || cfg.Tau >= 1 {
+		cfg.Tau = 0.99
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 512
+	}
+	if cfg.RefitEvery <= 0 {
+		cfg.RefitEvery = 32
+	}
+	if cfg.Ceiling <= 0 {
+		cfg.Ceiling = 4096
+	}
+	if cfg.Initial <= 0 {
+		cfg.Initial = 1
+	}
+	return &QuantileReg{
+		slo:      cfg.SLO,
+		tau:      cfg.Tau,
+		refitN:   cfg.RefitEvery,
+		ceiling:  cfg.Ceiling,
+		windowSz: cfg.Window,
+		sizes:    make([]float64, cfg.Window),
+		lats:     make([]float64, cfg.Window),
+		cap:      cfg.Initial,
+	}
+}
+
+// Name implements Controller.
+func (q *QuantileReg) Name() string { return "quantile-regression" }
+
+// MaxBatch implements Controller.
+func (q *QuantileReg) MaxBatch() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.cap
+}
+
+// Observe implements Controller.
+func (q *QuantileReg) Observe(batch int, latency time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.sizes[q.next] = float64(batch)
+	q.lats[q.next] = latency.Seconds()
+	q.next++
+	if q.next == q.windowSz {
+		q.next = 0
+		q.full = true
+	}
+	q.sinceFit++
+	if q.sinceFit < q.refitN {
+		// Between refits, probe upward like AIMD so the window gains
+		// coverage of larger batch sizes.
+		if latency <= q.slo && batch >= q.cap && q.cap < q.ceiling {
+			q.cap++
+		} else if latency > q.slo {
+			q.cap = int(float64(q.cap) * 0.9)
+			if q.cap < 1 {
+				q.cap = 1
+			}
+		}
+		return
+	}
+	q.sinceFit = 0
+	n := q.next
+	if q.full {
+		n = q.windowSz
+	}
+	line := quantile.Fit(q.sizes[:n], q.lats[:n], q.tau)
+	est := line.InverseAt(q.slo.Seconds(), 1, float64(q.ceiling))
+	q.cap = int(est)
+	if q.cap < 1 {
+		q.cap = 1
+	}
+}
+
+// Fixed is a constant-cap controller. Cap 1 is the "no batching" baseline
+// of Figure 4; larger caps emulate TensorFlow Serving's hand-tuned static
+// batch sizes (§6).
+type Fixed struct {
+	cap  int
+	name string
+}
+
+// NewFixed returns a controller pinned at cap (min 1).
+func NewFixed(cap int) *Fixed {
+	if cap < 1 {
+		cap = 1
+	}
+	name := "fixed"
+	if cap == 1 {
+		name = "no-batching"
+	}
+	return &Fixed{cap: cap, name: name}
+}
+
+// Name implements Controller.
+func (f *Fixed) Name() string { return f.name }
+
+// MaxBatch implements Controller.
+func (f *Fixed) MaxBatch() int { return f.cap }
+
+// Observe implements Controller (no adaptation).
+func (f *Fixed) Observe(int, time.Duration) {}

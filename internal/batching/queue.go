@@ -1,0 +1,237 @@
+package batching
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"clipper/internal/container"
+	"clipper/internal/metrics"
+)
+
+// Result is the outcome of one batched prediction.
+type Result struct {
+	Pred container.Prediction
+	Err  error
+}
+
+// request is one enqueued query awaiting batch dispatch.
+type request struct {
+	x    []float64
+	done chan Result
+}
+
+// ErrQueueClosed is returned for submissions to a closed queue.
+var ErrQueueClosed = errors.New("batching: queue closed")
+
+// QueueConfig parameterizes a per-replica batching queue.
+type QueueConfig struct {
+	// Controller chooses the max batch size. Required.
+	Controller Controller
+	// BatchTimeout, when positive, enables delayed batching: a non-full
+	// batch waits up to this long (from dispatch readiness) for more
+	// queries (paper §4.3.2). Zero dispatches immediately with whatever
+	// is queued.
+	BatchTimeout time.Duration
+	// Depth is the queue's buffered capacity; submissions beyond it
+	// block. Zero selects 8192.
+	Depth int
+}
+
+// Queue is the adaptive batching queue for one model-container replica
+// (paper §4.3): queries accumulate here and a dedicated dispatcher
+// goroutine drains them in controller-sized batches, one in-flight batch
+// at a time, feeding latency observations back to the controller.
+type Queue struct {
+	pred    container.Predictor
+	ctrl    Controller
+	timeout time.Duration
+
+	in   chan *request
+	stop chan struct{}
+	done chan struct{}
+
+	// Latency and batch-size telemetry for the experiments.
+	BatchLatency *metrics.Histogram
+	BatchSizes   *metrics.Histogram
+	QueueDelay   *metrics.Histogram
+	Throughput   *metrics.Meter
+}
+
+// NewQueue starts a batching queue in front of pred.
+func NewQueue(pred container.Predictor, cfg QueueConfig) *Queue {
+	if cfg.Controller == nil {
+		panic("batching: QueueConfig.Controller is required")
+	}
+	depth := cfg.Depth
+	if depth <= 0 {
+		depth = 8192
+	}
+	q := &Queue{
+		pred:         pred,
+		ctrl:         cfg.Controller,
+		timeout:      cfg.BatchTimeout,
+		in:           make(chan *request, depth),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+		BatchLatency: metrics.NewHistogram(),
+		BatchSizes:   metrics.NewHistogram(),
+		QueueDelay:   metrics.NewHistogram(),
+		Throughput:   metrics.NewMeter(),
+	}
+	go q.dispatchLoop()
+	return q
+}
+
+// Controller returns the queue's batch-size controller.
+func (q *Queue) Controller() Controller { return q.ctrl }
+
+// Submit enqueues x and blocks until its prediction is rendered, the
+// context is cancelled, or the queue closes.
+func (q *Queue) Submit(ctx context.Context, x []float64) (container.Prediction, error) {
+	ch, err := q.SubmitAsync(ctx, x)
+	if err != nil {
+		return container.Prediction{}, err
+	}
+	select {
+	case res, ok := <-ch:
+		if !ok {
+			return container.Prediction{}, ErrQueueClosed
+		}
+		return res.Pred, res.Err
+	case <-ctx.Done():
+		return container.Prediction{}, ctx.Err()
+	}
+}
+
+// SubmitAsync enqueues x and returns a channel that will receive exactly
+// one Result (or be closed if the queue shuts down first).
+func (q *Queue) SubmitAsync(ctx context.Context, x []float64) (<-chan Result, error) {
+	req := &request{x: x, done: make(chan Result, 1)}
+	select {
+	case <-q.stop:
+		return nil, ErrQueueClosed
+	default:
+	}
+	select {
+	case q.in <- req:
+		return req.done, nil
+	case <-q.stop:
+		return nil, ErrQueueClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Close stops the dispatcher. Queued requests receive ErrQueueClosed.
+func (q *Queue) Close() {
+	select {
+	case <-q.stop:
+		return
+	default:
+		close(q.stop)
+	}
+	<-q.done
+}
+
+func (q *Queue) dispatchLoop() {
+	defer close(q.done)
+	for {
+		// Block for the first query of the next batch.
+		var first *request
+		select {
+		case first = <-q.in:
+		case <-q.stop:
+			q.drainClosed()
+			return
+		}
+		arrival := time.Now()
+		batch := q.collect(first)
+
+		xs := make([][]float64, len(batch))
+		for i, r := range batch {
+			xs[i] = r.x
+		}
+		q.QueueDelay.ObserveDuration(time.Since(arrival))
+		start := time.Now()
+		preds, err := q.predictBatch(xs)
+		lat := time.Since(start)
+		q.ctrl.Observe(len(batch), lat)
+		q.BatchLatency.ObserveDuration(lat)
+		q.BatchSizes.Observe(float64(len(batch)))
+		q.Throughput.Mark(int64(len(batch)))
+
+		if err == nil {
+			if verr := container.Validate(preds, len(xs)); verr != nil {
+				err = verr
+			}
+		}
+		for i, r := range batch {
+			if err != nil {
+				r.done <- Result{Err: err}
+			} else {
+				r.done <- Result{Pred: preds[i]}
+			}
+		}
+	}
+}
+
+// predictBatch invokes the container, converting panics into errors: a
+// misbehaving model must fail its batch, not kill the dispatcher and hang
+// every future caller (the isolation §4.4 promises).
+func (q *Queue) predictBatch(xs [][]float64) (preds []container.Prediction, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			preds, err = nil, fmt.Errorf("batching: container panicked: %v", r)
+		}
+	}()
+	return q.pred.PredictBatch(xs)
+}
+
+// collect assembles a batch starting from first, honoring the controller's
+// cap and the optional delayed-batching timeout.
+func (q *Queue) collect(first *request) []*request {
+	max := q.ctrl.MaxBatch()
+	if max < 1 {
+		max = 1
+	}
+	batch := make([]*request, 1, max)
+	batch[0] = first
+	if q.timeout > 0 {
+		timer := time.NewTimer(q.timeout)
+		defer timer.Stop()
+		for len(batch) < max {
+			select {
+			case r := <-q.in:
+				batch = append(batch, r)
+			case <-timer.C:
+				return batch
+			case <-q.stop:
+				return batch
+			}
+		}
+		return batch
+	}
+	for len(batch) < max {
+		select {
+		case r := <-q.in:
+			batch = append(batch, r)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// drainClosed fails any requests still queued at shutdown.
+func (q *Queue) drainClosed() {
+	for {
+		select {
+		case r := <-q.in:
+			r.done <- Result{Err: ErrQueueClosed}
+		default:
+			return
+		}
+	}
+}

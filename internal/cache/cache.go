@@ -1,0 +1,195 @@
+// Package cache implements Clipper's prediction cache (paper §4.2): a
+// fixed-capacity function cache for Predict(model, x) keyed by model id and
+// query hash, with CLOCK (second-chance) eviction approximating LRU, and a
+// subscription mechanism so that concurrent requests for the same
+// uncomputed entry trigger exactly one model evaluation.
+//
+// The cache serves two roles in Clipper: partial pre-materialization of
+// popular queries, and an efficient join between recent predictions and
+// subsequently arriving feedback for the model selection layer.
+package cache
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"clipper/internal/container"
+)
+
+// Key identifies one cached prediction: a model (name+version) and a query
+// content hash.
+type Key struct {
+	Model   string
+	Version int
+	QueryID uint64
+}
+
+// HashQuery returns a content hash of a feature vector, suitable for
+// Key.QueryID. Equal vectors always hash equal; distinct vectors collide
+// with probability ~2^-64.
+func HashQuery(x []float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range x {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// slot is one CLOCK frame.
+type slot struct {
+	key   Key
+	value container.Prediction
+	used  bool // CLOCK reference bit
+	live  bool
+}
+
+// Cache is a CLOCK-evicting prediction cache, safe for concurrent use.
+// Construct with New.
+type Cache struct {
+	mu      sync.Mutex
+	slots   []slot
+	index   map[Key]int // key -> slot
+	hand    int
+	pending map[Key][]chan container.Prediction
+
+	hits   int64
+	misses int64
+}
+
+// New returns a cache holding up to capacity predictions. Capacity below 1
+// is raised to 1.
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		slots:   make([]slot, capacity),
+		index:   make(map[Key]int, capacity),
+		pending: make(map[Key][]chan container.Prediction),
+	}
+}
+
+// Fetch returns the cached prediction for key, if present, marking the
+// entry recently used. This is the paper's non-blocking fetch.
+func (c *Cache) Fetch(key Key) (container.Prediction, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i, ok := c.index[key]; ok {
+		c.slots[i].used = true
+		c.hits++
+		return c.slots[i].value, true
+	}
+	c.misses++
+	return container.Prediction{}, false
+}
+
+// Request is the paper's non-blocking request: it checks for the entry
+// and, when absent, registers interest. It returns:
+//
+//   - hit=true with the value when the entry is cached;
+//   - hit=false, leader=true when the caller is the first requester and is
+//     responsible for computing the value and calling Put;
+//   - hit=false, leader=false when a computation is already in flight; the
+//     returned channel receives the value when the leader Puts it.
+//
+// The channel is buffered and receives exactly one value (or is closed if
+// the leader Aborts).
+func (c *Cache) Request(key Key) (val container.Prediction, hit bool, leader bool, wait <-chan container.Prediction) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i, ok := c.index[key]; ok {
+		c.slots[i].used = true
+		c.hits++
+		return c.slots[i].value, true, false, nil
+	}
+	c.misses++
+	ch := make(chan container.Prediction, 1)
+	waiters, inflight := c.pending[key]
+	c.pending[key] = append(waiters, ch)
+	return container.Prediction{}, false, !inflight, ch
+}
+
+// Put stores a prediction and wakes all waiters registered via Request.
+func (c *Cache) Put(key Key, value container.Prediction) {
+	c.mu.Lock()
+	c.insertLocked(key, value)
+	waiters := c.pending[key]
+	delete(c.pending, key)
+	c.mu.Unlock()
+	for _, ch := range waiters {
+		ch <- value
+		close(ch)
+	}
+}
+
+// Abort cancels an in-flight computation registered via Request, closing
+// waiter channels without a value. The leader calls it when the model
+// evaluation fails.
+func (c *Cache) Abort(key Key) {
+	c.mu.Lock()
+	waiters := c.pending[key]
+	delete(c.pending, key)
+	c.mu.Unlock()
+	for _, ch := range waiters {
+		close(ch)
+	}
+}
+
+// insertLocked adds or refreshes an entry using CLOCK eviction.
+func (c *Cache) insertLocked(key Key, value container.Prediction) {
+	if i, ok := c.index[key]; ok {
+		c.slots[i].value = value
+		c.slots[i].used = true
+		return
+	}
+	// Advance the hand past recently used slots, clearing reference bits
+	// (the "second chance").
+	for {
+		s := &c.slots[c.hand]
+		if !s.live {
+			break
+		}
+		if !s.used {
+			break
+		}
+		s.used = false
+		c.hand = (c.hand + 1) % len(c.slots)
+	}
+	s := &c.slots[c.hand]
+	if s.live {
+		delete(c.index, s.key)
+	}
+	*s = slot{key: key, value: value, used: true, live: true}
+	c.index[key] = c.hand
+	c.hand = (c.hand + 1) % len(c.slots)
+}
+
+// Len returns the number of live entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.index)
+}
+
+// Capacity returns the maximum number of entries.
+func (c *Cache) Capacity() int { return len(c.slots) }
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// HitRate returns hits / (hits+misses), or 0 before any lookups.
+func (c *Cache) HitRate() float64 {
+	h, m := c.Stats()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}

@@ -1,0 +1,305 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"clipper/internal/container"
+)
+
+func key(id uint64) Key { return Key{Model: "m", Version: 1, QueryID: id} }
+
+func pred(label int) container.Prediction { return container.Prediction{Label: label} }
+
+func TestHashQueryDeterministicAndDiscriminating(t *testing.T) {
+	a := HashQuery([]float64{1, 2, 3})
+	b := HashQuery([]float64{1, 2, 3})
+	c := HashQuery([]float64{1, 2, 4})
+	if a != b {
+		t.Fatal("equal vectors must hash equal")
+	}
+	if a == c {
+		t.Fatal("distinct vectors should hash distinct")
+	}
+	if HashQuery(nil) != HashQuery([]float64{}) {
+		t.Fatal("nil and empty should hash equal")
+	}
+}
+
+func TestHashQueryProperty(t *testing.T) {
+	f := func(x []float64) bool {
+		cp := append([]float64(nil), x...)
+		return HashQuery(x) == HashQuery(cp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutFetch(t *testing.T) {
+	c := New(4)
+	if _, ok := c.Fetch(key(1)); ok {
+		t.Fatal("empty cache must miss")
+	}
+	c.Put(key(1), pred(7))
+	v, ok := c.Fetch(key(1))
+	if !ok || v.Label != 7 {
+		t.Fatalf("Fetch = %+v, %v", v, ok)
+	}
+	if c.Len() != 1 || c.Capacity() != 4 {
+		t.Fatalf("Len=%d Cap=%d", c.Len(), c.Capacity())
+	}
+}
+
+func TestPutOverwrite(t *testing.T) {
+	c := New(2)
+	c.Put(key(1), pred(1))
+	c.Put(key(1), pred(2))
+	v, _ := c.Fetch(key(1))
+	if v.Label != 2 {
+		t.Fatalf("Label = %d", v.Label)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestClockEvictionCapacity(t *testing.T) {
+	c := New(3)
+	for i := uint64(0); i < 10; i++ {
+		c.Put(key(i), pred(int(i)))
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	// The most recent insert always survives.
+	if _, ok := c.Fetch(key(9)); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+}
+
+func TestClockSecondChance(t *testing.T) {
+	// Fill the cache, touch one entry repeatedly, then insert new keys:
+	// the hot entry must survive eviction pressure (that is CLOCK's
+	// LRU-approximation property the paper relies on for hot items).
+	c := New(4)
+	for i := uint64(0); i < 4; i++ {
+		c.Put(key(i), pred(int(i)))
+	}
+	for j := 0; j < 3; j++ {
+		if _, ok := c.Fetch(key(2)); !ok {
+			t.Fatal("hot entry missing during warm-up")
+		}
+		c.Put(key(100+uint64(j)), pred(0)) // evicts a cold entry
+		if _, ok := c.Fetch(key(2)); !ok {
+			t.Fatalf("hot entry evicted after %d inserts", j+1)
+		}
+	}
+}
+
+func TestCapacityOne(t *testing.T) {
+	c := New(0) // clamped to 1
+	if c.Capacity() != 1 {
+		t.Fatalf("Capacity = %d", c.Capacity())
+	}
+	c.Put(key(1), pred(1))
+	c.Put(key(2), pred(2))
+	if _, ok := c.Fetch(key(1)); ok {
+		t.Fatal("capacity-1 cache should have evicted key 1")
+	}
+	if _, ok := c.Fetch(key(2)); !ok {
+		t.Fatal("capacity-1 cache lost the latest entry")
+	}
+}
+
+func TestRequestLeaderElection(t *testing.T) {
+	c := New(4)
+	_, hit, leader, ch1 := c.Request(key(5))
+	if hit || !leader || ch1 == nil {
+		t.Fatalf("first requester: hit=%v leader=%v", hit, leader)
+	}
+	_, hit, leader2, ch2 := c.Request(key(5))
+	if hit || leader2 {
+		t.Fatalf("second requester must not lead: hit=%v leader=%v", hit, leader2)
+	}
+	c.Put(key(5), pred(9))
+	for i, ch := range []<-chan container.Prediction{ch1, ch2} {
+		select {
+		case v, ok := <-ch:
+			if !ok || v.Label != 9 {
+				t.Fatalf("waiter %d got %+v ok=%v", i, v, ok)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("waiter %d not woken", i)
+		}
+	}
+	// After Put, requests hit.
+	v, hit, _, _ := c.Request(key(5))
+	if !hit || v.Label != 9 {
+		t.Fatalf("post-Put Request: hit=%v v=%+v", hit, v)
+	}
+}
+
+func TestAbortClosesWaiters(t *testing.T) {
+	c := New(4)
+	_, _, leader, ch := c.Request(key(1))
+	if !leader {
+		t.Fatal("expected leadership")
+	}
+	c.Abort(key(1))
+	select {
+	case _, ok := <-ch:
+		if ok {
+			t.Fatal("aborted waiter received a value")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("aborted waiter not woken")
+	}
+	// Leadership is available again after abort.
+	_, _, leader, _ = c.Request(key(1))
+	if !leader {
+		t.Fatal("leadership not released after Abort")
+	}
+}
+
+func TestStatsAndHitRate(t *testing.T) {
+	c := New(4)
+	c.Put(key(1), pred(1))
+	c.Fetch(key(1))
+	c.Fetch(key(2))
+	h, m := c.Stats()
+	if h != 1 || m != 1 {
+		t.Fatalf("hits=%d misses=%d", h, m)
+	}
+	if got := c.HitRate(); got != 0.5 {
+		t.Fatalf("HitRate = %v", got)
+	}
+	empty := New(4)
+	if empty.HitRate() != 0 {
+		t.Fatal("empty HitRate should be 0")
+	}
+}
+
+func TestConcurrentSingleLeaderPerKey(t *testing.T) {
+	c := New(64)
+	const goroutines = 16
+	var leaders int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			_, hit, leader, ch := c.Request(key(42))
+			if hit {
+				return
+			}
+			if leader {
+				mu.Lock()
+				leaders++
+				mu.Unlock()
+				c.Put(key(42), pred(1))
+				return
+			}
+			select {
+			case <-ch:
+			case <-time.After(2 * time.Second):
+				t.Error("waiter starved")
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if leaders != 1 {
+		t.Fatalf("leaders = %d, want exactly 1", leaders)
+	}
+}
+
+func TestConcurrentPutFetchManyKeys(t *testing.T) {
+	c := New(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := key(uint64(g*1000 + i))
+				c.Put(k, pred(i))
+				if v, ok := c.Fetch(k); ok && v.Label != i {
+					t.Errorf("corrupt value for %v: %d", k, v.Label)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > c.Capacity() {
+		t.Fatalf("Len %d exceeds capacity %d", c.Len(), c.Capacity())
+	}
+}
+
+func TestLenNeverExceedsCapacityProperty(t *testing.T) {
+	f := func(keys []uint64, capacity uint8) bool {
+		cap := int(capacity%16) + 1
+		c := New(cap)
+		for _, k := range keys {
+			c.Put(key(k), pred(int(k)))
+		}
+		return c.Len() <= cap
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctModelsDoNotCollide(t *testing.T) {
+	c := New(8)
+	k1 := Key{Model: "a", Version: 1, QueryID: 7}
+	k2 := Key{Model: "b", Version: 1, QueryID: 7}
+	k3 := Key{Model: "a", Version: 2, QueryID: 7}
+	c.Put(k1, pred(1))
+	c.Put(k2, pred(2))
+	c.Put(k3, pred(3))
+	for i, k := range []Key{k1, k2, k3} {
+		v, ok := c.Fetch(k)
+		if !ok || v.Label != i+1 {
+			t.Fatalf("key %d: %+v ok=%v", i, v, ok)
+		}
+	}
+}
+
+func BenchmarkCachePutFetch(b *testing.B) {
+	c := New(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := key(uint64(i % 8192))
+		if _, ok := c.Fetch(k); !ok {
+			c.Put(k, pred(i))
+		}
+	}
+}
+
+func BenchmarkHashQuery784(b *testing.B) {
+	x := make([]float64, 784)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		HashQuery(x)
+	}
+}
+
+func ExampleCache() {
+	c := New(2)
+	k := Key{Model: "svm", Version: 1, QueryID: HashQuery([]float64{1, 2})}
+	c.Put(k, container.Prediction{Label: 3})
+	v, ok := c.Fetch(k)
+	fmt.Println(v.Label, ok)
+	// Output: 3 true
+}

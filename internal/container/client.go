@@ -1,0 +1,116 @@
+package container
+
+import (
+	"context"
+	"io"
+	"sync"
+	"time"
+
+	"clipper/internal/rpc"
+)
+
+// Remote is a Predictor backed by an RPC connection to a container process.
+// It is the Clipper-side handle to a deployed model replica.
+type Remote struct {
+	client *rpc.Client
+	info   Info
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ Predictor = (*Remote)(nil)
+
+// Dial connects to a model container server at addr and fetches its Info.
+func Dial(addr string, timeout time.Duration) (*Remote, error) {
+	c, err := rpc.Dial(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return newRemote(c)
+}
+
+// NewRemoteConn wraps an established connection (e.g. a simulated
+// bandwidth-limited link) as a Remote.
+func NewRemoteConn(conn io.ReadWriteCloser) (*Remote, error) {
+	return newRemote(rpc.NewClient(conn))
+}
+
+func newRemote(c *rpc.Client) (*Remote, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	raw, err := c.Call(ctx, rpc.MethodInfo, nil)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	info, err := DecodeInfo(raw)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	return &Remote{client: c, info: info}, nil
+}
+
+// Info implements Predictor.
+func (r *Remote) Info() Info { return r.info }
+
+// PredictBatch implements Predictor, issuing one RPC per batch.
+func (r *Remote) PredictBatch(xs [][]float64) ([]Prediction, error) {
+	return r.PredictBatchContext(context.Background(), xs)
+}
+
+// PredictBatchContext is PredictBatch with caller-controlled cancellation.
+func (r *Remote) PredictBatchContext(ctx context.Context, xs [][]float64) ([]Prediction, error) {
+	r.mu.Lock()
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
+		return nil, ErrContainerClosed
+	}
+	raw, err := r.client.Call(ctx, rpc.MethodPredict, EncodeBatch(xs))
+	if err != nil {
+		return nil, err
+	}
+	preds, err := DecodePredictions(raw)
+	if err != nil {
+		return nil, err
+	}
+	if err := Validate(preds, len(xs)); err != nil {
+		return nil, err
+	}
+	return preds, nil
+}
+
+// Ping checks container liveness.
+func (r *Remote) Ping(ctx context.Context) error {
+	return r.client.Ping(ctx)
+}
+
+// Close tears down the connection.
+func (r *Remote) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	return r.client.Close()
+}
+
+// Loopback hosts p behind an in-memory duplex pipe and returns a Remote
+// that reaches it through the full RPC codec path. This is how "local"
+// containers are deployed: even in-process models cross the narrow waist,
+// as the paper's architecture requires.
+func Loopback(p Predictor) (*Remote, func(), error) {
+	srvConn, cliConn := newDuplexPipe()
+	srv := rpc.NewServer(Handler(p))
+	go srv.ServeConn(srvConn)
+	r, err := NewRemoteConn(cliConn)
+	if err != nil {
+		srv.Close()
+		return nil, nil, err
+	}
+	stop := func() {
+		r.Close()
+		srv.Close()
+	}
+	return r, stop, nil
+}

@@ -1,0 +1,14 @@
+package container
+
+import (
+	"io"
+	"net"
+)
+
+// newDuplexPipe returns two connected in-memory endpoints. net.Pipe is
+// synchronous and unbuffered; the RPC layer's dedicated reader goroutines
+// make that safe here.
+func newDuplexPipe() (io.ReadWriteCloser, io.ReadWriteCloser) {
+	a, b := net.Pipe()
+	return a, b
+}

@@ -1,0 +1,111 @@
+package container
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Replica is one deployed copy of a model container. Clipper batches
+// independently per replica (paper §4.4.1) because replicas can have
+// different performance characteristics.
+type Replica struct {
+	// ID uniquely names this replica, e.g. "sklearn-svm:v1/0".
+	ID string
+	// Pred is the replica's prediction handle (local loopback or remote).
+	Pred Predictor
+	// Stop releases the replica's resources. May be nil.
+	Stop func()
+}
+
+// Registry tracks deployed models and their replicas. It is safe for
+// concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	replicas map[string][]*Replica // model name -> replicas
+	serial   int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{replicas: make(map[string][]*Replica)}
+}
+
+// Add deploys a replica of the named model and returns it. The model name
+// is taken from the predictor's Info.
+func (r *Registry) Add(p Predictor, stop func()) *Replica {
+	info := p.Info()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.serial++
+	rep := &Replica{
+		ID:   fmt.Sprintf("%s/%d", info.String(), r.serial),
+		Pred: p,
+		Stop: stop,
+	}
+	r.replicas[info.Name] = append(r.replicas[info.Name], rep)
+	return rep
+}
+
+// Replicas returns the live replicas of the named model (possibly empty).
+func (r *Registry) Replicas(model string) []*Replica {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Replica(nil), r.replicas[model]...)
+}
+
+// Models returns the sorted names of all models with at least one replica.
+func (r *Registry) Models() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.replicas))
+	for name, reps := range r.replicas {
+		if len(reps) > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Remove stops and deregisters one replica by id. It reports whether the
+// replica was found.
+func (r *Registry) Remove(id string) bool {
+	r.mu.Lock()
+	var victim *Replica
+	for name, reps := range r.replicas {
+		for i, rep := range reps {
+			if rep.ID == id {
+				victim = rep
+				r.replicas[name] = append(reps[:i], reps[i+1:]...)
+				break
+			}
+		}
+		if victim != nil {
+			break
+		}
+	}
+	r.mu.Unlock()
+	if victim == nil {
+		return false
+	}
+	if victim.Stop != nil {
+		victim.Stop()
+	}
+	return true
+}
+
+// Close stops every replica and empties the registry.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	all := r.replicas
+	r.replicas = make(map[string][]*Replica)
+	r.mu.Unlock()
+	for _, reps := range all {
+		for _, rep := range reps {
+			if rep.Stop != nil {
+				rep.Stop()
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package container
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFuncPredictor(t *testing.T) {
+	info := Info{Name: "fn", Version: 1, NumClasses: 2}
+	p := NewFunc(info, func(xs [][]float64) ([]Prediction, error) {
+		out := make([]Prediction, len(xs))
+		for i, x := range xs {
+			if x[0] > 0 {
+				out[i].Label = 1
+			}
+		}
+		return out, nil
+	})
+	if p.Info() != info {
+		t.Fatalf("Info = %+v", p.Info())
+	}
+	preds, err := p.PredictBatch([][]float64{{-1}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preds[0].Label != 0 || preds[1].Label != 1 {
+		t.Fatalf("preds = %+v", preds)
+	}
+}
+
+func TestFuncPredictorErrorPassthrough(t *testing.T) {
+	boom := errors.New("boom")
+	p := NewFunc(Info{Name: "fn"}, func(xs [][]float64) ([]Prediction, error) {
+		return nil, boom
+	})
+	if _, err := p.PredictBatch([][]float64{{1}}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFuncPredictorValidatesLength(t *testing.T) {
+	p := NewFunc(Info{Name: "fn"}, func(xs [][]float64) ([]Prediction, error) {
+		return make([]Prediction, len(xs)+1), nil
+	})
+	if _, err := p.PredictBatch([][]float64{{1}}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestLabelFunc(t *testing.T) {
+	p := NewLabelFunc(Info{Name: "parity", NumClasses: 2}, func(x []float64) int {
+		return int(x[0]) % 2
+	})
+	preds, err := p.PredictBatch([][]float64{{4}, {5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preds[0].Label != 0 || preds[1].Label != 1 {
+		t.Fatalf("preds = %+v", preds)
+	}
+}
+
+func TestFuncPredictorServesOverRPC(t *testing.T) {
+	// The one-liner container works end to end through the RPC path.
+	p := NewLabelFunc(Info{Name: "parity", Version: 1, NumClasses: 2}, func(x []float64) int {
+		return int(x[0]) % 2
+	})
+	remote, stop, err := Loopback(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	preds, err := remote.PredictBatch([][]float64{{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preds[0].Label != 1 {
+		t.Fatalf("preds = %+v", preds)
+	}
+}

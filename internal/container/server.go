@@ -1,0 +1,52 @@
+package container
+
+import (
+	"fmt"
+
+	"clipper/internal/rpc"
+)
+
+// Handler adapts a Predictor to the RPC server's handler signature,
+// implementing the container side of the narrow-waist protocol.
+func Handler(p Predictor) rpc.Handler {
+	return func(method rpc.Method, payload []byte) ([]byte, error) {
+		switch method {
+		case rpc.MethodPredict:
+			xs, err := DecodeBatch(payload)
+			if err != nil {
+				return nil, err
+			}
+			if dim := p.Info().InputDim; dim > 0 {
+				for i, x := range xs {
+					if len(x) != dim {
+						return nil, fmt.Errorf("container: query %d has dim %d, model %s wants %d",
+							i, len(x), p.Info().Name, dim)
+					}
+				}
+			}
+			preds, err := p.PredictBatch(xs)
+			if err != nil {
+				return nil, err
+			}
+			if err := Validate(preds, len(xs)); err != nil {
+				return nil, err
+			}
+			return EncodePredictions(preds), nil
+		case rpc.MethodInfo:
+			return EncodeInfo(p.Info()), nil
+		default:
+			return nil, fmt.Errorf("container: unknown method %d", method)
+		}
+	}
+}
+
+// Serve hosts p as an RPC model container listening on addr (":0" picks a
+// free port) and returns the bound address and the server for shutdown.
+func Serve(p Predictor, addr string) (string, *rpc.Server, error) {
+	srv := rpc.NewServer(Handler(p))
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return "", nil, err
+	}
+	return bound, srv, nil
+}

@@ -1,0 +1,70 @@
+// Package container implements Clipper's model containers: the uniform
+// "narrow waist" batch-prediction API (Listing 1 of the paper) behind which
+// every model, regardless of framework, is deployed.
+//
+// A container can run in-process (LocalContainer) or in a separate process
+// reached over the lightweight RPC system (Serve / Dial). The paper hosts
+// each container in Docker; here process- or goroutine-level isolation
+// behind the same RPC boundary preserves the architectural property under
+// study — that Clipper only ever talks to models through batched RPCs.
+package container
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Prediction is one model output: a class label plus optional per-class
+// scores (used by score-combining selection policies and confidence
+// estimation).
+type Prediction struct {
+	// Label is the predicted class.
+	Label int
+	// Scores optionally holds one score per class; nil when the model
+	// exposes labels only.
+	Scores []float64
+}
+
+// Info describes a deployed model.
+type Info struct {
+	// Name identifies the model, e.g. "sklearn-linear-svm".
+	Name string
+	// Version distinguishes redeployments of the same model name.
+	Version int
+	// InputDim is the expected feature dimensionality; 0 means any.
+	InputDim int
+	// NumClasses is the label cardinality.
+	NumClasses int
+}
+
+// String renders "name:vN".
+func (i Info) String() string { return fmt.Sprintf("%s:v%d", i.Name, i.Version) }
+
+// Predictor is the common batch prediction interface for model containers —
+// the Go rendering of the paper's Listing 1:
+//
+//	interface Predictor<X,Y> { List<List<Y>> pred_batch(List<X> inputs); }
+//
+// Implementations must be safe for concurrent use; Clipper issues one
+// in-flight batch per replica but tests and multi-tenant deployments may
+// not.
+type Predictor interface {
+	// Info returns the model's identity and shape.
+	Info() Info
+	// PredictBatch computes one prediction per input. It must return
+	// either len(xs) predictions or an error.
+	PredictBatch(xs [][]float64) ([]Prediction, error)
+}
+
+// ErrContainerClosed is returned by predictions issued to a closed
+// container.
+var ErrContainerClosed = errors.New("container: closed")
+
+// Validate checks that preds matches the batch size n, guarding against
+// misbehaving model containers.
+func Validate(preds []Prediction, n int) error {
+	if len(preds) != n {
+		return fmt.Errorf("container: got %d predictions for %d inputs", len(preds), n)
+	}
+	return nil
+}

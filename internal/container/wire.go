@@ -1,0 +1,168 @@
+package container
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The codec encodes prediction batches, predictions and model infos in a
+// compact little-endian binary format. The paper notes that query
+// serialization is a measurable part of container latency (Figure 11's
+// Python-vs-C++ gap); keeping the codec explicit lets the benchmarks model
+// that cost faithfully.
+
+// EncodeBatch serializes a batch of dense feature vectors.
+//
+// Layout: u32 rows, then per row: u32 len, f64 × len.
+func EncodeBatch(xs [][]float64) []byte {
+	size := 4
+	for _, x := range xs {
+		size += 4 + 8*len(x)
+	}
+	buf := make([]byte, size)
+	off := 0
+	binary.LittleEndian.PutUint32(buf[off:], uint32(len(xs)))
+	off += 4
+	for _, x := range xs {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(len(x)))
+		off += 4
+		for _, v := range x {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+			off += 8
+		}
+	}
+	return buf
+}
+
+// DecodeBatch reverses EncodeBatch.
+func DecodeBatch(buf []byte) ([][]float64, error) {
+	rows, off, err := readU32(buf, 0)
+	if err != nil {
+		return nil, err
+	}
+	xs := make([][]float64, 0, min(int(rows), 1<<20))
+	for r := uint32(0); r < rows; r++ {
+		var n uint32
+		n, off, err = readU32(buf, off)
+		if err != nil {
+			return nil, err
+		}
+		if int(n)*8 > len(buf)-off {
+			return nil, fmt.Errorf("container: row %d truncated", r)
+		}
+		row := make([]float64, n)
+		for i := range row {
+			row[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		xs = append(xs, row)
+	}
+	return xs, nil
+}
+
+// EncodePredictions serializes model outputs.
+//
+// Layout: u32 count, then per prediction: i32 label, u32 scoreLen,
+// f64 × scoreLen.
+func EncodePredictions(preds []Prediction) []byte {
+	size := 4
+	for _, p := range preds {
+		size += 4 + 4 + 8*len(p.Scores)
+	}
+	buf := make([]byte, size)
+	off := 0
+	binary.LittleEndian.PutUint32(buf[off:], uint32(len(preds)))
+	off += 4
+	for _, p := range preds {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(int32(p.Label)))
+		off += 4
+		binary.LittleEndian.PutUint32(buf[off:], uint32(len(p.Scores)))
+		off += 4
+		for _, s := range p.Scores {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(s))
+			off += 8
+		}
+	}
+	return buf
+}
+
+// DecodePredictions reverses EncodePredictions.
+func DecodePredictions(buf []byte) ([]Prediction, error) {
+	count, off, err := readU32(buf, 0)
+	if err != nil {
+		return nil, err
+	}
+	preds := make([]Prediction, 0, min(int(count), 1<<20))
+	for i := uint32(0); i < count; i++ {
+		var label, scoreLen uint32
+		label, off, err = readU32(buf, off)
+		if err != nil {
+			return nil, err
+		}
+		scoreLen, off, err = readU32(buf, off)
+		if err != nil {
+			return nil, err
+		}
+		p := Prediction{Label: int(int32(label))}
+		if scoreLen > 0 {
+			if int(scoreLen)*8 > len(buf)-off {
+				return nil, fmt.Errorf("container: prediction %d scores truncated", i)
+			}
+			p.Scores = make([]float64, scoreLen)
+			for j := range p.Scores {
+				p.Scores[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+				off += 8
+			}
+		}
+		preds = append(preds, p)
+	}
+	return preds, nil
+}
+
+// EncodeInfo serializes a model description.
+//
+// Layout: u16 nameLen, name bytes, i32 version, i32 inputDim, i32 classes.
+func EncodeInfo(info Info) []byte {
+	name := []byte(info.Name)
+	buf := make([]byte, 2+len(name)+12)
+	binary.LittleEndian.PutUint16(buf, uint16(len(name)))
+	copy(buf[2:], name)
+	off := 2 + len(name)
+	binary.LittleEndian.PutUint32(buf[off:], uint32(int32(info.Version)))
+	binary.LittleEndian.PutUint32(buf[off+4:], uint32(int32(info.InputDim)))
+	binary.LittleEndian.PutUint32(buf[off+8:], uint32(int32(info.NumClasses)))
+	return buf
+}
+
+// DecodeInfo reverses EncodeInfo.
+func DecodeInfo(buf []byte) (Info, error) {
+	if len(buf) < 2 {
+		return Info{}, fmt.Errorf("container: info truncated")
+	}
+	nameLen := int(binary.LittleEndian.Uint16(buf))
+	if len(buf) < 2+nameLen+12 {
+		return Info{}, fmt.Errorf("container: info truncated")
+	}
+	off := 2 + nameLen
+	return Info{
+		Name:       string(buf[2 : 2+nameLen]),
+		Version:    int(int32(binary.LittleEndian.Uint32(buf[off:]))),
+		InputDim:   int(int32(binary.LittleEndian.Uint32(buf[off+4:]))),
+		NumClasses: int(int32(binary.LittleEndian.Uint32(buf[off+8:]))),
+	}, nil
+}
+
+func readU32(buf []byte, off int) (uint32, int, error) {
+	if off+4 > len(buf) {
+		return 0, 0, fmt.Errorf("container: buffer truncated at offset %d", off)
+	}
+	return binary.LittleEndian.Uint32(buf[off:]), off + 4, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,121 @@
+package container
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBatchCodecRoundTrip(t *testing.T) {
+	in := [][]float64{{1, 2, 3}, {}, {-4.5, math.Pi}}
+	out, err := DecodeBatch(EncodeBatch(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("got %v want %v", out, in)
+	}
+}
+
+func TestBatchCodecEmpty(t *testing.T) {
+	out, err := DecodeBatch(EncodeBatch(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("got %v", out)
+	}
+}
+
+func TestBatchCodecPropertyRoundTrip(t *testing.T) {
+	f := func(rows [][]float64) bool {
+		for _, r := range rows {
+			for i, v := range r {
+				if math.IsNaN(v) {
+					r[i] = 0 // NaN != NaN breaks DeepEqual, not the codec
+				}
+			}
+		}
+		out, err := DecodeBatch(EncodeBatch(rows))
+		if err != nil {
+			return false
+		}
+		if len(out) != len(rows) {
+			return false
+		}
+		for i := range rows {
+			if len(out[i]) != len(rows[i]) {
+				return false
+			}
+			for j := range rows[i] {
+				if out[i][j] != rows[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchCodecTruncated(t *testing.T) {
+	buf := EncodeBatch([][]float64{{1, 2, 3, 4}})
+	for _, cut := range []int{1, 3, 5, 9, len(buf) - 1} {
+		if _, err := DecodeBatch(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestPredictionsCodecRoundTrip(t *testing.T) {
+	in := []Prediction{
+		{Label: 3, Scores: []float64{0.1, 0.9}},
+		{Label: -1},
+		{Label: 0, Scores: []float64{}},
+	}
+	out, err := DecodePredictions(EncodePredictions(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("len = %d", len(out))
+	}
+	if out[0].Label != 3 || out[0].Scores[1] != 0.9 {
+		t.Fatalf("pred0 = %+v", out[0])
+	}
+	if out[1].Label != -1 || out[1].Scores != nil {
+		t.Fatalf("pred1 = %+v", out[1])
+	}
+}
+
+func TestPredictionsCodecTruncated(t *testing.T) {
+	buf := EncodePredictions([]Prediction{{Label: 1, Scores: []float64{1, 2}}})
+	for _, cut := range []int{2, 6, 10, len(buf) - 1} {
+		if _, err := DecodePredictions(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestInfoCodecRoundTrip(t *testing.T) {
+	in := Info{Name: "sklearn-svm", Version: 7, InputDim: 784, NumClasses: 10}
+	out, err := DecodeInfo(EncodeInfo(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("got %+v want %+v", out, in)
+	}
+}
+
+func TestInfoCodecTruncated(t *testing.T) {
+	buf := EncodeInfo(Info{Name: "x", Version: 1})
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := DecodeInfo(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}

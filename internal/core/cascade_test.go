@@ -1,0 +1,176 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"clipper/internal/container"
+	"clipper/internal/selection"
+)
+
+// scoredModel predicts a fixed label with configurable score sharpness and
+// records calls.
+type scoredModel struct {
+	name  string
+	label int
+	sharp float64 // logit margin: high = confident
+	delay time.Duration
+
+	mu    sync.Mutex
+	calls int
+}
+
+func (s *scoredModel) Info() container.Info {
+	return container.Info{Name: s.name, Version: 1, NumClasses: 3}
+}
+
+func (s *scoredModel) PredictBatch(xs [][]float64) ([]container.Prediction, error) {
+	s.mu.Lock()
+	s.calls += len(xs)
+	s.mu.Unlock()
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	out := make([]container.Prediction, len(xs))
+	for i := range out {
+		scores := make([]float64, 3)
+		scores[s.label] = s.sharp
+		out[i] = container.Prediction{Label: s.label, Scores: scores}
+	}
+	return out, nil
+}
+
+func (s *scoredModel) Calls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+func TestCascadeAnswersFromConfidentFirstStage(t *testing.T) {
+	cheap := &scoredModel{name: "cheap", label: 1, sharp: 10} // softmax top ~0.9999
+	heavy := &scoredModel{name: "heavy", label: 2, sharp: 10, delay: 50 * time.Millisecond}
+	cl := New(Config{CacheSize: -1})
+	defer cl.Close()
+	for _, m := range []*scoredModel{cheap, heavy} {
+		if _, err := cl.Deploy(m, nil, qcfg()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	app, err := cl.RegisterApp(AppConfig{
+		Name: "app", Models: []string{"cheap", "heavy"},
+		Policy:  selection.NewExp4(0.3),
+		Cascade: &CascadeConfig{First: []int{0}, Threshold: 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, err := app.Predict(context.Background(), []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stage != 1 {
+		t.Fatalf("Stage = %d, want 1", resp.Stage)
+	}
+	if resp.Label != 1 {
+		t.Fatalf("Label = %d, want cheap model's 1", resp.Label)
+	}
+	if heavy.Calls() != 0 {
+		t.Fatalf("heavy model invoked %d times on confident stage 1", heavy.Calls())
+	}
+	if elapsed := time.Since(start); elapsed > 40*time.Millisecond {
+		t.Fatalf("cascade fast path took %v (heavy model is 50ms)", elapsed)
+	}
+}
+
+func TestCascadeEscalatesOnLowConfidence(t *testing.T) {
+	unsure := &scoredModel{name: "unsure", label: 1, sharp: 0.1} // softmax top ~0.35
+	heavy := &scoredModel{name: "heavy", label: 2, sharp: 10}
+	cl := New(Config{CacheSize: -1})
+	defer cl.Close()
+	for _, m := range []*scoredModel{unsure, heavy} {
+		if _, err := cl.Deploy(m, nil, qcfg()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	app, err := cl.RegisterApp(AppConfig{
+		Name: "app", Models: []string{"unsure", "heavy"},
+		Policy:  selection.NewExp4(0.3),
+		Cascade: &CascadeConfig{First: []int{0}, Threshold: 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := app.Predict(context.Background(), []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stage != 2 {
+		t.Fatalf("Stage = %d, want escalation", resp.Stage)
+	}
+	if heavy.Calls() == 0 {
+		t.Fatal("heavy model never consulted after escalation")
+	}
+}
+
+func TestCascadeAllMissingFirstStageEscalates(t *testing.T) {
+	slow := &scoredModel{name: "slow", label: 1, sharp: 10, delay: 200 * time.Millisecond}
+	fast := &scoredModel{name: "fast", label: 2, sharp: 10}
+	cl := New(Config{CacheSize: -1})
+	defer cl.Close()
+	for _, m := range []*scoredModel{slow, fast} {
+		if _, err := cl.Deploy(m, nil, qcfg()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	app, err := cl.RegisterApp(AppConfig{
+		Name: "app", Models: []string{"slow", "fast"},
+		Policy:  selection.NewExp4(0.3),
+		SLO:     30 * time.Millisecond, // stage 1's slow model misses this
+		Cascade: &CascadeConfig{First: []int{0}, Threshold: 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := app.Predict(context.Background(), []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stage != 2 {
+		t.Fatalf("Stage = %d, want escalation when stage 1 misses deadline", resp.Stage)
+	}
+}
+
+func TestStageConfidenceHelper(t *testing.T) {
+	// Single confident prediction.
+	p := &container.Prediction{Label: 0, Scores: []float64{8, 0, 0}}
+	pred, conf := selection.StageConfidence([]*container.Prediction{p})
+	if pred.Label != 0 || conf < 0.99 {
+		t.Fatalf("confident single: %d %.3f", pred.Label, conf)
+	}
+	// Single unsure prediction.
+	p = &container.Prediction{Label: 0, Scores: []float64{0.1, 0, 0}}
+	_, conf = selection.StageConfidence([]*container.Prediction{p})
+	if conf > 0.5 {
+		t.Fatalf("unsure single conf = %.3f", conf)
+	}
+	// Score-less single is neutral.
+	p = &container.Prediction{Label: 0}
+	_, conf = selection.StageConfidence([]*container.Prediction{p})
+	if conf != 0.5 {
+		t.Fatalf("scoreless conf = %v", conf)
+	}
+	// Agreement among several.
+	ps := []*container.Prediction{{Label: 1}, {Label: 1}, {Label: 2}}
+	pred, conf = selection.StageConfidence(ps)
+	if pred.Label != 1 || conf < 0.6 || conf > 0.7 {
+		t.Fatalf("vote: %d %.3f", pred.Label, conf)
+	}
+	// None.
+	pred, conf = selection.StageConfidence(nil)
+	if pred.Label != -1 || conf != 0 {
+		t.Fatalf("empty: %d %v", pred.Label, conf)
+	}
+}

@@ -1,0 +1,229 @@
+// Package core implements the Clipper serving system itself: the
+// orchestration of the model selection layer (selection policies, per-
+// context state, straggler mitigation) above the model abstraction layer
+// (prediction cache, adaptive batching queues, model-container replicas),
+// as described in §3–§5 of the paper.
+//
+// A Clipper owns deployed model replicas and named applications. The
+// prediction path is:
+//
+//	Application.Predict
+//	  → policy.Select chooses model(s)
+//	  → per model: prediction cache (request/fetch) → adaptive batch queue
+//	    → container RPC
+//	  → straggler mitigation at the latency deadline
+//	  → policy.Combine renders the final prediction + confidence
+//
+// and the feedback path joins feedback with cached predictions and folds it
+// into the per-context selection state (policy.Observe), persisted in the
+// external state store.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"clipper/internal/batching"
+	"clipper/internal/cache"
+	"clipper/internal/container"
+	"clipper/internal/statestore"
+)
+
+// Config parameterizes a Clipper instance. Zero values select defaults.
+type Config struct {
+	// CacheSize is the prediction cache capacity in entries; 0 selects
+	// 65536. Negative disables caching entirely (used by the cache
+	// ablation benchmark).
+	CacheSize int
+	// Store holds per-context selection state; nil selects an in-memory
+	// store.
+	Store statestore.Store
+}
+
+// Clipper is one serving node: a registry of model replicas with their
+// batching queues, a shared prediction cache, and the applications that
+// query them.
+type Clipper struct {
+	cache *cache.Cache // nil when caching disabled
+	store statestore.Store
+
+	mu     sync.Mutex
+	queues map[string][]*replicaQueue // model name -> replica queues
+	infos  map[string]container.Info  // model name -> info
+	rr     map[string]*atomic.Uint64  // model name -> round-robin cursor
+	apps   map[string]*Application
+	closed bool
+}
+
+// replicaQueue pairs a replica with its adaptive batching queue and
+// availability state.
+type replicaQueue struct {
+	replica *container.Replica
+	queue   *batching.Queue
+	health  replicaHealth
+}
+
+// New returns a Clipper with the given configuration.
+func New(cfg Config) *Clipper {
+	var c *cache.Cache
+	if cfg.CacheSize >= 0 {
+		size := cfg.CacheSize
+		if size == 0 {
+			size = 65536
+		}
+		c = cache.New(size)
+	}
+	store := cfg.Store
+	if store == nil {
+		store = statestore.NewMemStore()
+	}
+	return &Clipper{
+		cache:  c,
+		store:  store,
+		queues: make(map[string][]*replicaQueue),
+		infos:  make(map[string]container.Info),
+		rr:     make(map[string]*atomic.Uint64),
+		apps:   make(map[string]*Application),
+	}
+}
+
+// ErrClosed is returned by operations on a closed Clipper.
+var ErrClosed = errors.New("core: clipper closed")
+
+// ErrUnknownModel is returned when deploying an app over an undeployed
+// model.
+var ErrUnknownModel = errors.New("core: unknown model")
+
+// Deploy adds a replica of a model behind its own adaptive batching queue.
+// The model's name comes from the predictor's Info; deploying the same
+// name again adds a replica (paper §4.4.1). stop, if non-nil, releases the
+// replica's resources on Close.
+func (cl *Clipper) Deploy(pred container.Predictor, stop func(), qcfg batching.QueueConfig) (*container.Replica, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.closed {
+		return nil, ErrClosed
+	}
+	info := pred.Info()
+	if existing, ok := cl.infos[info.Name]; ok && existing.Version != info.Version {
+		return nil, fmt.Errorf("core: model %q version conflict: deployed v%d, got v%d",
+			info.Name, existing.Version, info.Version)
+	}
+	rep := &container.Replica{
+		ID:   fmt.Sprintf("%s/%d", info.String(), len(cl.queues[info.Name])),
+		Pred: pred,
+		Stop: stop,
+	}
+	q := batching.NewQueue(pred, qcfg)
+	rq := &replicaQueue{replica: rep, queue: q}
+	rq.health.healthy.Store(true)
+	cl.queues[info.Name] = append(cl.queues[info.Name], rq)
+	cl.infos[info.Name] = info
+	if _, ok := cl.rr[info.Name]; !ok {
+		cl.rr[info.Name] = &atomic.Uint64{}
+	}
+	return rep, nil
+}
+
+// Models returns the names of deployed models.
+func (cl *Clipper) Models() []string {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	names := make([]string, 0, len(cl.queues))
+	for name := range cl.queues {
+		names = append(names, name)
+	}
+	return names
+}
+
+// ModelInfo returns the Info of a deployed model.
+func (cl *Clipper) ModelInfo(name string) (container.Info, bool) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	info, ok := cl.infos[name]
+	return info, ok
+}
+
+// ReplicaQueues returns the batching queues of a model's replicas, for
+// telemetry inspection by benchmarks.
+func (cl *Clipper) ReplicaQueues(model string) []*batching.Queue {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	qs := make([]*batching.Queue, 0, len(cl.queues[model]))
+	for _, rq := range cl.queues[model] {
+		qs = append(qs, rq.queue)
+	}
+	return qs
+}
+
+// AppNames returns the sorted names of registered applications.
+func (cl *Clipper) AppNames() []string {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	names := make([]string, 0, len(cl.apps))
+	for name := range cl.apps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Cache returns the prediction cache (nil when disabled).
+func (cl *Clipper) Cache() *cache.Cache { return cl.cache }
+
+// Store returns the selection-state store.
+func (cl *Clipper) Store() statestore.Store { return cl.store }
+
+// nextQueue picks the next healthy replica queue for a model, round-robin.
+// If every replica is marked unhealthy it falls back to plain round-robin
+// (serving degraded beats serving nothing — and gives a recovering replica
+// traffic to prove itself).
+func (cl *Clipper) nextQueue(model string) (*batching.Queue, error) {
+	cl.mu.Lock()
+	rqs := cl.queues[model]
+	cursor := cl.rr[model]
+	cl.mu.Unlock()
+	if len(rqs) == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, model)
+	}
+	i := int(cursor.Add(1))
+	for probe := 0; probe < len(rqs); probe++ {
+		rq := rqs[(i+probe)%len(rqs)]
+		if rq.health.healthy.Load() {
+			return rq.queue, nil
+		}
+	}
+	return rqs[i%len(rqs)].queue, nil
+}
+
+// modelVersion returns the deployed version of a model (for cache keys).
+func (cl *Clipper) modelVersion(model string) int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.infos[model].Version
+}
+
+// Close shuts down all applications, queues and replicas.
+func (cl *Clipper) Close() {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return
+	}
+	cl.closed = true
+	queues := cl.queues
+	cl.queues = make(map[string][]*replicaQueue)
+	cl.mu.Unlock()
+	for _, rqs := range queues {
+		for _, rq := range rqs {
+			rq.queue.Close()
+			if rq.replica.Stop != nil {
+				rq.replica.Stop()
+			}
+		}
+	}
+	cl.store.Close()
+}

@@ -1,0 +1,98 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment has a runner returning structured results
+// plus a textual rendering that prints the same rows/series the paper
+// reports. cmd/bench drives them from the command line; bench_test.go
+// exposes each as a testing.B benchmark.
+//
+// Runners accept a Scale: Quick shrinks sweeps and durations for CI and
+// benchmarks; Full runs the paper-shaped parameter grids.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Scale selects experiment fidelity.
+type Scale int
+
+// Scales.
+const (
+	// Quick runs a reduced sweep suitable for tests and benchmarks
+	// (seconds).
+	Quick Scale = iota
+	// Full runs the paper-shaped grids (minutes).
+	Full
+)
+
+// Result is one experiment's rendered outcome.
+type Result struct {
+	// ID is the experiment identifier, e.g. "fig4".
+	ID string
+	// Title names the paper artifact reproduced.
+	Title string
+	// Lines is the printable report, one row/series per line.
+	Lines []string
+}
+
+// String renders the result as a report block.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Runner executes one experiment.
+type Runner func(scale Scale) (Result, error)
+
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = r
+}
+
+// IDs returns the registered experiment ids in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, scale Scale) (Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return Result{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(scale)
+}
+
+func init() {
+	register("table1", RunTable1)
+	register("table2", RunTable2)
+	register("fig3", RunFig3)
+	register("fig4", RunFig4)
+	register("fig5", RunFig5)
+	register("fig6", RunFig6)
+	register("fig7", RunFig7)
+	register("fig8", RunFig8)
+	register("fig9", RunFig9)
+	register("fig10", RunFig10)
+	register("fig11", RunFig11)
+	register("cache16", RunCacheFeedback)
+	register("ablation-aimd", RunAblationAIMD)
+	register("ablation-eta", RunAblationExp3Eta)
+	register("ablation-cache", RunAblationCacheSize)
+	register("extension-cascade", RunCascade)
+}

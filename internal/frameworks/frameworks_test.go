@@ -1,0 +1,198 @@
+package frameworks
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"clipper/internal/dataset"
+	"clipper/internal/models"
+)
+
+func TestProfileExpectedLinearInBatchSize(t *testing.T) {
+	p := Profile{Fixed: time.Millisecond, PerItem: 10 * time.Microsecond}
+	if got := p.Expected(0); got != 0 {
+		t.Fatalf("Expected(0) = %v", got)
+	}
+	one := p.Expected(1)
+	hundred := p.Expected(100)
+	if one != time.Millisecond+10*time.Microsecond {
+		t.Fatalf("Expected(1) = %v", one)
+	}
+	if hundred != time.Millisecond+time.Millisecond {
+		t.Fatalf("Expected(100) = %v", hundred)
+	}
+}
+
+func TestProfileParallelismReducesMarginalCost(t *testing.T) {
+	serial := Profile{Fixed: 0, PerItem: 100 * time.Microsecond, Parallelism: 0}
+	parallel := Profile{Fixed: 0, PerItem: 100 * time.Microsecond, Parallelism: 1}
+	if serial.Expected(10) != 10*parallel.Expected(10) {
+		t.Fatalf("serial=%v parallel=%v", serial.Expected(10), parallel.Expected(10))
+	}
+	if parallel.Expected(1000) != parallel.Expected(1) {
+		t.Fatal("fully parallel batches should be constant-time")
+	}
+}
+
+func TestProfileStaticBatchPadding(t *testing.T) {
+	p := Profile{PerItem: time.Microsecond, StaticBatch: 8}
+	if p.Expected(1) != p.Expected(8) {
+		t.Fatal("batch of 1 should pad to 8")
+	}
+	if p.Expected(9) != p.Expected(16) {
+		t.Fatal("batch of 9 should pad to 16")
+	}
+}
+
+func TestProfileMonotoneProperty(t *testing.T) {
+	// Property: expected latency never decreases with batch size.
+	f := func(fixedUS, perItemUS uint16, par float64, n uint8) bool {
+		p := Profile{
+			Fixed:       time.Duration(fixedUS) * time.Microsecond,
+			PerItem:     time.Duration(perItemUS) * time.Microsecond,
+			Parallelism: par - float64(int(par)), // fold into [0,1)
+		}
+		a := p.Expected(int(n))
+		b := p.Expected(int(n) + 1)
+		return b >= a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileJitterBounded(t *testing.T) {
+	p := Profile{Fixed: time.Millisecond, PerItem: time.Microsecond, Jitter: 0.1}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		d := p.BatchDuration(10, rng)
+		if d <= 0 {
+			t.Fatalf("non-positive jittered duration %v", d)
+		}
+	}
+}
+
+func TestProfileGCPause(t *testing.T) {
+	p := Profile{Fixed: time.Millisecond, GCPauseEvery: 1, GCPause: 50 * time.Millisecond}
+	rng := rand.New(rand.NewSource(1))
+	d := p.BatchDuration(1, rng)
+	if d < 50*time.Millisecond {
+		t.Fatalf("GC pause not injected: %v", d)
+	}
+	if det := p.BatchDuration(1, nil); det != time.Millisecond {
+		t.Fatalf("nil rng should be deterministic: %v", det)
+	}
+}
+
+func TestMaxBatchWithinSLO(t *testing.T) {
+	p := Profile{Fixed: time.Millisecond, PerItem: time.Millisecond}
+	// 1ms + n*1ms <= 10ms => n <= 9.
+	if got := p.MaxBatchWithinSLO(10*time.Millisecond, 100); got != 9 {
+		t.Fatalf("MaxBatchWithinSLO = %d, want 9", got)
+	}
+	heavy := Profile{Fixed: 20 * time.Millisecond}
+	if got := heavy.MaxBatchWithinSLO(10*time.Millisecond, 100); got != 0 {
+		t.Fatalf("infeasible SLO should yield 0, got %d", got)
+	}
+}
+
+func TestProfileSLORatios(t *testing.T) {
+	// The paper reports a 241x spread between the linear SVM's and kernel
+	// SVM's maximum batch size under a 20ms SLO. Our calibrated profiles
+	// must preserve a >=100x spread.
+	slo := 20 * time.Millisecond
+	lin := SKLearnLinearSVM().MaxBatchWithinSLO(slo, 100000)
+	ker := SKLearnKernelSVM().MaxBatchWithinSLO(slo, 100000)
+	if ker == 0 || lin == 0 {
+		t.Fatalf("degenerate SLO batches lin=%d ker=%d", lin, ker)
+	}
+	ratio := float64(lin) / float64(ker)
+	if ratio < 100 {
+		t.Fatalf("linear/kernel batch ratio = %.0f, want >= 100 (paper: 241)", ratio)
+	}
+}
+
+func TestFigure3ProfilesComplete(t *testing.T) {
+	ps := Figure3Profiles()
+	if len(ps) != 6 {
+		t.Fatalf("got %d profiles, want 6", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		if p.Name == "" {
+			t.Fatal("unnamed profile")
+		}
+		if names[p.Name] {
+			t.Fatalf("duplicate profile %q", p.Name)
+		}
+		names[p.Name] = true
+	}
+}
+
+func TestSimPredictorPredictionsAndLatency(t *testing.T) {
+	d := dataset.Gaussian(dataset.GaussianConfig{
+		Name: "g", N: 300, Dim: 10, NumClasses: 3, Separation: 5, Noise: 1, Seed: 1,
+	})
+	train, test := d.Split(0.8, 1)
+	m := models.TrainLinearSVM("svm", train, models.DefaultLinearConfig())
+	profile := Profile{Name: "test", Fixed: 2 * time.Millisecond, PerItem: 10 * time.Microsecond}
+	p := NewSimPredictor(m, profile, d.Dim, 1)
+
+	if p.Info().Name != "svm" || p.Info().NumClasses != 3 {
+		t.Fatalf("Info = %+v", p.Info())
+	}
+	start := time.Now()
+	preds, err := p.PredictBatch(test.X[:8])
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 8 {
+		t.Fatalf("got %d predictions", len(preds))
+	}
+	for i, pr := range preds {
+		if pr.Label != m.Predict(test.X[i]) {
+			t.Fatal("sim predictions must match the wrapped model")
+		}
+		if pr.Scores == nil {
+			t.Fatal("scorer model should emit scores")
+		}
+	}
+	want := profile.Expected(8)
+	if elapsed < want {
+		t.Fatalf("batch returned in %v, profile demands >= %v", elapsed, want)
+	}
+	if elapsed > want+20*time.Millisecond {
+		t.Fatalf("batch took %v, far over target %v", elapsed, want)
+	}
+}
+
+func TestSimPredictorNoScores(t *testing.T) {
+	m := models.NewNoOp("noop", 2, 0)
+	p := NewSimPredictor(m, NoOpContainer(), 0, 1)
+	preds, err := p.PredictBatch([][]float64{{1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range preds {
+		if pr.Scores != nil {
+			t.Fatal("no-op model should not emit scores")
+		}
+	}
+}
+
+func TestSleepPrecision(t *testing.T) {
+	for _, d := range []time.Duration{200 * time.Microsecond, 2 * time.Millisecond} {
+		start := time.Now()
+		Sleep(d)
+		got := time.Since(start)
+		if got < d {
+			t.Fatalf("Sleep(%v) returned early after %v", d, got)
+		}
+		if got > d+5*time.Millisecond {
+			t.Fatalf("Sleep(%v) overslept: %v", d, got)
+		}
+	}
+}

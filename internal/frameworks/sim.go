@@ -1,0 +1,97 @@
+package frameworks
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"clipper/internal/container"
+	"clipper/internal/models"
+)
+
+// SimPredictor wraps a real Go model with a framework latency Profile. Its
+// PredictBatch computes genuine predictions and then blocks until the
+// profile's simulated batch duration has elapsed (inclusive of the real
+// compute time), so the container exhibits the target framework's
+// latency-vs-batch-size curve while still returning meaningful outputs.
+type SimPredictor struct {
+	model   models.Model
+	scorer  models.Scorer // nil when the model has no scores
+	profile Profile
+	info    container.Info
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+var _ container.Predictor = (*SimPredictor)(nil)
+
+// NewSimPredictor wraps model with profile. inputDim 0 disables input-shape
+// advertising.
+func NewSimPredictor(model models.Model, profile Profile, inputDim int, seed int64) *SimPredictor {
+	s, _ := model.(models.Scorer)
+	return &SimPredictor{
+		model:   model,
+		scorer:  s,
+		profile: profile,
+		info: container.Info{
+			Name:       model.Name(),
+			Version:    1,
+			InputDim:   inputDim,
+			NumClasses: model.NumClasses(),
+		},
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Info implements container.Predictor.
+func (p *SimPredictor) Info() container.Info { return p.info }
+
+// Profile returns the wrapped latency profile.
+func (p *SimPredictor) Profile() Profile { return p.profile }
+
+// PredictBatch implements container.Predictor.
+func (p *SimPredictor) PredictBatch(xs [][]float64) ([]container.Prediction, error) {
+	start := time.Now()
+	p.mu.Lock()
+	target := p.profile.BatchDuration(len(xs), p.rng)
+	p.mu.Unlock()
+
+	out := make([]container.Prediction, len(xs))
+	for i, x := range xs {
+		pred := container.Prediction{Label: p.model.Predict(x)}
+		if p.scorer != nil {
+			pred.Scores = p.scorer.Scores(x)
+		}
+		out[i] = pred
+	}
+	// Block for the remainder of the simulated duration, if the real
+	// compute did not already exceed it.
+	SleepUntil(start.Add(target))
+	return out, nil
+}
+
+// SleepUntil blocks until the deadline with sub-millisecond precision:
+// coarse time.Sleep for the bulk, then a bounded spin for the tail. The
+// spin tail is capped so concurrent containers do not monopolize CPUs.
+func SleepUntil(deadline time.Time) {
+	const spinWindow = 100 * time.Microsecond
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return
+		}
+		if remaining > spinWindow {
+			time.Sleep(remaining - spinWindow)
+			continue
+		}
+		break
+	}
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
+// Sleep blocks for approximately d with sub-millisecond precision.
+func Sleep(d time.Duration) { SleepUntil(time.Now().Add(d)) }

@@ -1,0 +1,123 @@
+package frontend
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"clipper/internal/batching"
+	"clipper/internal/container"
+)
+
+// Admin endpoints let operators evolve a running Clipper node — the
+// paper's core deployment story ("new models and frameworks can be
+// introduced without modifying end-user applications"):
+//
+//	POST /api/v1/admin/deploy   {"addr","slo_ms"}  dial + deploy a container
+//	GET  /api/v1/admin/replicas?model=<name>       replica health
+//	POST /api/v1/admin/health   {"replica","healthy"}
+
+// DeployRequest is the JSON body of POST /api/v1/admin/deploy.
+type DeployRequest struct {
+	// Addr is the model container's RPC address ("host:port").
+	Addr string `json:"addr"`
+	// SLOMillis is the batching latency objective; 0 selects 20ms.
+	SLOMillis int `json:"slo_ms,omitempty"`
+	// BatchTimeoutMicros optionally enables delayed batching.
+	BatchTimeoutMicros int `json:"batch_timeout_us,omitempty"`
+}
+
+// DeployResponse reports the deployed replica.
+type DeployResponse struct {
+	Model     string `json:"model"`
+	Version   int    `json:"version"`
+	ReplicaID string `json:"replica_id"`
+}
+
+// HealthRequest is the JSON body of POST /api/v1/admin/health.
+type HealthRequest struct {
+	Replica string `json:"replica"`
+	Healthy bool   `json:"healthy"`
+}
+
+// registerAdmin wires the admin routes onto the mux.
+func (s *Server) registerAdmin() {
+	s.mux.HandleFunc("/api/v1/admin/deploy", s.handleDeploy)
+	s.mux.HandleFunc("/api/v1/admin/replicas", s.handleReplicas)
+	s.mux.HandleFunc("/api/v1/admin/health", s.handleHealth403OrSet)
+}
+
+func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req DeployRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.Addr == "" {
+		writeError(w, http.StatusBadRequest, "addr required")
+		return
+	}
+	remote, err := container.Dial(req.Addr, 5*time.Second)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "dialing container: "+err.Error())
+		return
+	}
+	slo := time.Duration(req.SLOMillis) * time.Millisecond
+	if slo <= 0 {
+		slo = 20 * time.Millisecond
+	}
+	rep, err := s.clipper.Deploy(remote, func() { remote.Close() }, batching.QueueConfig{
+		Controller:   batching.NewAIMD(batching.AIMDConfig{SLO: slo}),
+		BatchTimeout: time.Duration(req.BatchTimeoutMicros) * time.Microsecond,
+	})
+	if err != nil {
+		remote.Close()
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	info := remote.Info()
+	writeJSON(w, http.StatusOK, DeployResponse{
+		Model: info.Name, Version: info.Version, ReplicaID: rep.ID,
+	})
+}
+
+func (s *Server) handleReplicas(w http.ResponseWriter, r *http.Request) {
+	model := r.URL.Query().Get("model")
+	if model == "" {
+		// All models.
+		out := map[string]map[string]bool{}
+		for _, m := range s.clipper.Models() {
+			out[m] = s.clipper.ReplicaHealth(m)
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.clipper.ReplicaHealth(model))
+}
+
+func (s *Server) handleHealth403OrSet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req HealthRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	var ok bool
+	if req.Healthy {
+		ok = s.clipper.MarkHealthy(req.Replica)
+	} else {
+		ok = s.clipper.MarkUnhealthy(req.Replica)
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown replica "+req.Replica)
+		return
+	}
+	writeJSON(w, http.StatusOK, StatusResponse{OK: true})
+}

@@ -1,0 +1,146 @@
+package frontend
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"clipper/internal/container"
+	"clipper/internal/core"
+	"clipper/internal/selection"
+)
+
+func TestAdminDeployEndpoint(t *testing.T) {
+	s, cl := newTestServer(t)
+	h := s.Handler()
+
+	// Host a new model as a standalone container and deploy it through
+	// the admin API.
+	addr, srv, err := container.Serve(&fixedModel{name: "runtime-model", label: 7}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rec := postJSON(t, h, "/api/v1/admin/deploy", DeployRequest{Addr: addr, SLOMillis: 10})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("deploy status = %d body=%s", rec.Code, rec.Body)
+	}
+	var resp DeployResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Model != "runtime-model" || resp.ReplicaID == "" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	// The model is now deployed and servable.
+	found := false
+	for _, m := range cl.Models() {
+		if m == "runtime-model" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("runtime-model not in %v", cl.Models())
+	}
+	// New applications can use it immediately and get served.
+	app, err := cl.RegisterApp(core.AppConfig{
+		Name: "runtime-app", Models: []string{"runtime-model"},
+		Policy: selection.NewStatic(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp, err := app.Predict(context.Background(), []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if presp.Label != 7 {
+		t.Fatalf("runtime-deployed model answered %d", presp.Label)
+	}
+}
+
+func TestAdminDeployValidation(t *testing.T) {
+	s, _ := newTestServer(t)
+	h := s.Handler()
+	rec := postJSON(t, h, "/api/v1/admin/deploy", DeployRequest{})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing addr: %d", rec.Code)
+	}
+	rec = postJSON(t, h, "/api/v1/admin/deploy", DeployRequest{Addr: "127.0.0.1:1"})
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("unreachable container: %d", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/api/v1/admin/deploy", nil)
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, req)
+	if rec2.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: %d", rec2.Code)
+	}
+}
+
+func TestAdminReplicasEndpoint(t *testing.T) {
+	s, _ := newTestServer(t)
+	h := s.Handler()
+
+	req := httptest.NewRequest(http.MethodGet, "/api/v1/admin/replicas?model=m0", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var health map[string]bool
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if len(health) != 1 {
+		t.Fatalf("health = %v", health)
+	}
+	for _, ok := range health {
+		if !ok {
+			t.Fatal("fresh replica should be healthy")
+		}
+	}
+
+	// All-models variant.
+	req = httptest.NewRequest(http.MethodGet, "/api/v1/admin/replicas", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var all map[string]map[string]bool
+	if err := json.Unmarshal(rec.Body.Bytes(), &all); err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("all = %v", all)
+	}
+}
+
+func TestAdminHealthEndpoint(t *testing.T) {
+	s, cl := newTestServer(t)
+	h := s.Handler()
+
+	var replicaID string
+	for id := range cl.ReplicaHealth("m0") {
+		replicaID = id
+	}
+	rec := postJSON(t, h, "/api/v1/admin/health", HealthRequest{Replica: replicaID, Healthy: false})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body=%s", rec.Code, rec.Body)
+	}
+	if health := cl.ReplicaHealth("m0"); health[replicaID] {
+		t.Fatal("mark-down not applied")
+	}
+	rec = postJSON(t, h, "/api/v1/admin/health", HealthRequest{Replica: replicaID, Healthy: true})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if health := cl.ReplicaHealth("m0"); !health[replicaID] {
+		t.Fatal("mark-up not applied")
+	}
+	rec = postJSON(t, h, "/api/v1/admin/health", HealthRequest{Replica: "nope", Healthy: true})
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown replica: %d", rec.Code)
+	}
+}

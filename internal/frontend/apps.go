@@ -1,0 +1,151 @@
+package frontend
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"clipper/internal/core"
+	"clipper/internal/selection"
+)
+
+// Runtime application registration and batch prediction:
+//
+//	POST /api/v1/admin/apps      register an application over deployed models
+//	POST /api/v1/predict-batch   many predictions in one request
+
+// RegisterAppRequest is the JSON body of POST /api/v1/admin/apps.
+type RegisterAppRequest struct {
+	// Name is the application name.
+	Name string `json:"name"`
+	// Models lists deployed model names, in policy index order.
+	Models []string `json:"models"`
+	// Policy selects the selection policy: "exp3", "exp4", "ucb1",
+	// "thompson", "epsilon-greedy" or "static:<index>". Empty selects
+	// exp4.
+	Policy string `json:"policy,omitempty"`
+	// SLOMillis is the straggler deadline; 0 waits for all models.
+	SLOMillis int `json:"slo_ms,omitempty"`
+	// ConfidenceThreshold enables robust defaults when positive.
+	ConfidenceThreshold float64 `json:"confidence_threshold,omitempty"`
+	// DefaultLabel is the robust default action.
+	DefaultLabel int `json:"default_label,omitempty"`
+}
+
+// BatchPredictRequest is the JSON body of POST /api/v1/predict-batch.
+type BatchPredictRequest struct {
+	App     string      `json:"app"`
+	Context string      `json:"context,omitempty"`
+	Inputs  [][]float64 `json:"inputs"`
+}
+
+// BatchPredictResponse carries one PredictResponse per input.
+type BatchPredictResponse struct {
+	Results []PredictResponse `json:"results"`
+}
+
+func (s *Server) registerAppRoutes() {
+	s.mux.HandleFunc("/api/v1/admin/apps", s.handleRegisterApp)
+	s.mux.HandleFunc("/api/v1/predict-batch", s.handlePredictBatch)
+}
+
+// parsePolicy maps a policy name to a selection.Policy.
+func parsePolicy(name string) (selection.Policy, error) {
+	switch {
+	case name == "" || name == "exp4":
+		return selection.NewExp4(0), nil
+	case name == "exp3":
+		return selection.NewExp3(0), nil
+	case name == "ucb1":
+		return selection.NewUCB1(), nil
+	case name == "thompson":
+		return selection.NewThompson(), nil
+	case name == "epsilon-greedy":
+		return selection.NewEpsilonGreedy(0, 0), nil
+	case len(name) > 7 && name[:7] == "static:":
+		var idx int
+		if _, err := fmt.Sscanf(name[7:], "%d", &idx); err != nil {
+			return nil, fmt.Errorf("bad static policy index %q", name[7:])
+		}
+		return selection.NewStatic(idx), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func (s *Server) handleRegisterApp(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req RegisterAppRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	policy, err := parsePolicy(req.Policy)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	_, err = s.clipper.RegisterApp(core.AppConfig{
+		Name:                req.Name,
+		Models:              req.Models,
+		Policy:              policy,
+		SLO:                 time.Duration(req.SLOMillis) * time.Millisecond,
+		ConfidenceThreshold: req.ConfidenceThreshold,
+		DefaultLabel:        req.DefaultLabel,
+	})
+	if err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, StatusResponse{OK: true})
+}
+
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req BatchPredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(req.Inputs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty inputs")
+		return
+	}
+	const maxBatch = 4096
+	if len(req.Inputs) > maxBatch {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d exceeds limit %d", len(req.Inputs), maxBatch))
+		return
+	}
+	app, ok := s.clipper.App(req.App)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown app %q", req.App))
+		return
+	}
+	out := BatchPredictResponse{Results: make([]PredictResponse, len(req.Inputs))}
+	for i, x := range req.Inputs {
+		if len(x) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("input %d is empty", i))
+			return
+		}
+		resp, err := app.PredictContext(r.Context(), req.Context, x)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		out.Results[i] = PredictResponse{
+			Label:       resp.Label,
+			Confidence:  resp.Confidence,
+			UsedDefault: resp.UsedDefault,
+			Missing:     resp.Missing,
+			LatencyUS:   resp.Latency.Microseconds(),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

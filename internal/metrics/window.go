@@ -1,0 +1,150 @@
+package metrics
+
+import "sync"
+
+// SlidingWindow keeps the most recent N float64 observations and reports
+// streaming statistics over them. It is used by the adaptive batching
+// controllers to track recent batch latencies, and by the selection layer
+// to track recent per-model loss.
+//
+// Construct with NewSlidingWindow; the zero value is not usable.
+type SlidingWindow struct {
+	mu   sync.Mutex
+	buf  []float64
+	next int
+	full bool
+	sum  float64
+}
+
+// NewSlidingWindow returns a window holding up to size observations.
+func NewSlidingWindow(size int) *SlidingWindow {
+	if size <= 0 {
+		size = 1
+	}
+	return &SlidingWindow{buf: make([]float64, size)}
+}
+
+// Observe appends an observation, evicting the oldest when full.
+func (w *SlidingWindow) Observe(v float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.full {
+		w.sum -= w.buf[w.next]
+	}
+	w.buf[w.next] = v
+	w.sum += v
+	w.next++
+	if w.next == len(w.buf) {
+		w.next = 0
+		w.full = true
+	}
+}
+
+// Len returns the number of observations currently held.
+func (w *SlidingWindow) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lenLocked()
+}
+
+func (w *SlidingWindow) lenLocked() int {
+	if w.full {
+		return len(w.buf)
+	}
+	return w.next
+}
+
+// Mean returns the mean of the held observations, or 0 when empty.
+func (w *SlidingWindow) Mean() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := w.lenLocked()
+	if n == 0 {
+		return 0
+	}
+	return w.sum / float64(n)
+}
+
+// Max returns the largest held observation, or 0 when empty.
+func (w *SlidingWindow) Max() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := w.lenLocked()
+	if n == 0 {
+		return 0
+	}
+	max := w.buf[0]
+	for i := 1; i < n; i++ {
+		if w.buf[i] > max {
+			max = w.buf[i]
+		}
+	}
+	return max
+}
+
+// Quantile estimates the q-th quantile over the held observations.
+func (w *SlidingWindow) Quantile(q float64) float64 {
+	w.mu.Lock()
+	n := w.lenLocked()
+	vals := append([]float64(nil), w.buf[:n]...)
+	w.mu.Unlock()
+	return quantileOf(vals, q)
+}
+
+// Values returns a copy of the held observations in insertion order.
+func (w *SlidingWindow) Values() []float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := w.lenLocked()
+	out := make([]float64, 0, n)
+	if w.full {
+		out = append(out, w.buf[w.next:]...)
+		out = append(out, w.buf[:w.next]...)
+	} else {
+		out = append(out, w.buf[:w.next]...)
+	}
+	return out
+}
+
+// Reset discards all observations.
+func (w *SlidingWindow) Reset() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.next, w.full, w.sum = 0, false, 0
+}
+
+// EWMA is an exponentially weighted moving average. The zero value is not
+// usable; construct with NewEWMA.
+type EWMA struct {
+	mu    sync.Mutex
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with smoothing factor alpha in (0, 1]. Larger
+// alpha weights recent observations more heavily.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.2
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds a new observation into the average.
+func (e *EWMA) Observe(v float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.init {
+		e.value, e.init = v, true
+		return
+	}
+	e.value = e.alpha*v + (1-e.alpha)*e.value
+}
+
+// Value returns the current average, or 0 before any observation.
+func (e *EWMA) Value() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.value
+}

@@ -1,0 +1,107 @@
+package models
+
+import (
+	"math"
+
+	"clipper/internal/dataset"
+)
+
+// NaiveBayes is a Gaussian naive Bayes classifier: per-class, per-feature
+// means and variances with a class prior. It is cheap at inference time
+// (O(dim × classes)) and typically less accurate than the discriminative
+// models, giving the selection-layer experiments a genuinely weaker arm.
+type NaiveBayes struct {
+	name     string
+	mean     [][]float64 // [class][dim]
+	variance [][]float64 // [class][dim]
+	logPrior []float64   // [class]
+	dim      int
+}
+
+// TrainNaiveBayes fits Gaussian naive Bayes to ds with variance smoothing.
+func TrainNaiveBayes(name string, ds *dataset.Dataset) *NaiveBayes {
+	nc := ds.NumClasses
+	m := &NaiveBayes{
+		name:     name,
+		mean:     make([][]float64, nc),
+		variance: make([][]float64, nc),
+		logPrior: make([]float64, nc),
+		dim:      ds.Dim,
+	}
+	counts := make([]float64, nc)
+	for c := 0; c < nc; c++ {
+		m.mean[c] = make([]float64, ds.Dim)
+		m.variance[c] = make([]float64, ds.Dim)
+	}
+	for i, x := range ds.X {
+		c := ds.Y[i]
+		counts[c]++
+		axpy(1, x, m.mean[c])
+	}
+	for c := 0; c < nc; c++ {
+		if counts[c] == 0 {
+			m.logPrior[c] = math.Inf(-1)
+			for j := range m.variance[c] {
+				m.variance[c][j] = 1
+			}
+			continue
+		}
+		for j := range m.mean[c] {
+			m.mean[c][j] /= counts[c]
+		}
+		m.logPrior[c] = math.Log(counts[c] / float64(ds.Len()))
+	}
+	for i, x := range ds.X {
+		c := ds.Y[i]
+		for j, v := range x {
+			d := v - m.mean[c][j]
+			m.variance[c][j] += d * d
+		}
+	}
+	const smoothing = 1e-6
+	for c := 0; c < nc; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range m.variance[c] {
+			m.variance[c][j] = m.variance[c][j]/counts[c] + smoothing
+		}
+	}
+	return m
+}
+
+// Name implements Model.
+func (m *NaiveBayes) Name() string { return m.name }
+
+// NumClasses implements Model.
+func (m *NaiveBayes) NumClasses() int { return len(m.mean) }
+
+// Predict implements Model.
+func (m *NaiveBayes) Predict(x []float64) int {
+	return argmax(m.Scores(x))
+}
+
+// PredictBatch implements Model.
+func (m *NaiveBayes) PredictBatch(xs [][]float64) []int {
+	return predictBatchSerial(m, xs)
+}
+
+// Scores implements Scorer: per-class log joint likelihood.
+func (m *NaiveBayes) Scores(x []float64) []float64 {
+	checkDim(m.name, x, m.dim)
+	out := make([]float64, len(m.mean))
+	for c := range m.mean {
+		ll := m.logPrior[c]
+		if math.IsInf(ll, -1) {
+			out[c] = ll
+			continue
+		}
+		for j, v := range x {
+			d := v - m.mean[c][j]
+			va := m.variance[c][j]
+			ll -= 0.5*(d*d/va) + 0.5*math.Log(2*math.Pi*va)
+		}
+		out[c] = ll
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package models
+
+import (
+	"container/heap"
+
+	"clipper/internal/dataset"
+)
+
+// KNN is a k-nearest-neighbors classifier over the full training set.
+// Like the kernel machine, its per-query cost scales with the stored
+// example count, making it one of the expensive containers in the latency
+// profile experiments.
+type KNN struct {
+	name       string
+	xs         [][]float64
+	ys         []int
+	k          int
+	numClasses int
+	dim        int
+}
+
+// TrainKNN "trains" a k-NN model by retaining (a reference to) the training
+// set. k <= 0 selects 5.
+func TrainKNN(name string, ds *dataset.Dataset, k int) *KNN {
+	if k <= 0 {
+		k = 5
+	}
+	if k > ds.Len() {
+		k = ds.Len()
+	}
+	return &KNN{
+		name:       name,
+		xs:         ds.X,
+		ys:         ds.Y,
+		k:          k,
+		numClasses: ds.NumClasses,
+		dim:        ds.Dim,
+	}
+}
+
+// Name implements Model.
+func (m *KNN) Name() string { return m.name }
+
+// NumClasses implements Model.
+func (m *KNN) NumClasses() int { return m.numClasses }
+
+// K returns the neighbor count.
+func (m *KNN) K() int { return m.k }
+
+// Predict implements Model.
+func (m *KNN) Predict(x []float64) int {
+	return argmax(m.Scores(x))
+}
+
+// PredictBatch implements Model.
+func (m *KNN) PredictBatch(xs [][]float64) []int {
+	return predictBatchSerial(m, xs)
+}
+
+// Scores implements Scorer: the neighbor vote share per class.
+func (m *KNN) Scores(x []float64) []float64 {
+	checkDim(m.name, x, m.dim)
+	// Max-heap of the k smallest distances seen so far.
+	h := make(distHeap, 0, m.k)
+	for i, xi := range m.xs {
+		d := sqDist(x, xi)
+		if len(h) < m.k {
+			heap.Push(&h, distEntry{d: d, y: m.ys[i]})
+		} else if d < h[0].d {
+			h[0] = distEntry{d: d, y: m.ys[i]}
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]float64, m.numClasses)
+	for _, e := range h {
+		out[e.y]++
+	}
+	if len(h) > 0 {
+		for i := range out {
+			out[i] /= float64(len(h))
+		}
+	}
+	return out
+}
+
+type distEntry struct {
+	d float64
+	y int
+}
+
+type distHeap []distEntry
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d > h[j].d } // max-heap
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distEntry)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

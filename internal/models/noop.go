@@ -1,0 +1,53 @@
+package models
+
+// NoOp is a model that performs no computation and always predicts the
+// same class. The paper uses a "No-Op Container" (Figure 3d) to measure the
+// pure overhead of the model-container and RPC machinery; this is its
+// equivalent.
+type NoOp struct {
+	name    string
+	classes int
+	label   int
+}
+
+// NewNoOp returns a no-op model that always predicts label out of classes.
+func NewNoOp(name string, classes, label int) *NoOp {
+	if classes < 1 {
+		classes = 1
+	}
+	if label < 0 || label >= classes {
+		label = 0
+	}
+	return &NoOp{name: name, classes: classes, label: label}
+}
+
+// Name implements Model.
+func (m *NoOp) Name() string { return m.name }
+
+// NumClasses implements Model.
+func (m *NoOp) NumClasses() int { return m.classes }
+
+// Predict implements Model.
+func (m *NoOp) Predict(x []float64) int { return m.label }
+
+// PredictBatch implements Model.
+func (m *NoOp) PredictBatch(xs [][]float64) []int {
+	out := make([]int, len(xs))
+	for i := range out {
+		out[i] = m.label
+	}
+	return out
+}
+
+// ConstantScorer wraps NoOp with a Scores method so it can participate in
+// score-combining ensembles during tests.
+type ConstantScorer struct {
+	*NoOp
+}
+
+// Scores implements Scorer: 1 for the constant label, 0 elsewhere.
+func (m ConstantScorer) Scores(x []float64) []float64 {
+	s := make([]float64, m.classes)
+	s[m.label] = 1
+	return s
+}

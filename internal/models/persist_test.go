@@ -1,0 +1,140 @@
+package models
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"clipper/internal/dataset"
+)
+
+// roundTrip saves and reloads a model, failing the test on any error.
+func roundTrip(t *testing.T, m Model) Model {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatalf("Save(%s): %v", m.Name(), err)
+	}
+	out, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", m.Name(), err)
+	}
+	return out
+}
+
+// requireSamePredictions checks the reloaded model agrees with the
+// original on every test input.
+func requireSamePredictions(t *testing.T, orig, loaded Model, xs [][]float64) {
+	t.Helper()
+	if loaded.Name() != orig.Name() {
+		t.Fatalf("name %q != %q", loaded.Name(), orig.Name())
+	}
+	if loaded.NumClasses() != orig.NumClasses() {
+		t.Fatalf("classes %d != %d", loaded.NumClasses(), orig.NumClasses())
+	}
+	a := orig.PredictBatch(xs)
+	b := loaded.PredictBatch(xs)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: prediction %d changed after reload: %d != %d",
+				orig.Name(), i, b[i], a[i])
+		}
+	}
+}
+
+func TestPersistAllModelFamilies(t *testing.T) {
+	d := dataset.Gaussian(dataset.GaussianConfig{
+		Name: "p", N: 400, Dim: 12, NumClasses: 3, Separation: 4, Noise: 1, Seed: 1,
+	})
+	train, test := d.Split(0.8, 2)
+	ms := []Model{
+		TrainLinearSVM("svm", train, DefaultLinearConfig()),
+		TrainLogisticRegression("lr", train, DefaultLinearConfig()),
+		TrainKernelMachine("ksvm", train, KernelConfig{Landmarks: 32, Linear: DefaultLinearConfig(), Seed: 1}),
+		TrainNaiveBayes("nb", train),
+		TrainMLP("mlp", train, DefaultMLPConfig()),
+		TrainDecisionTree("tree", train, DefaultTreeConfig()),
+		TrainRandomForest("rf", train, DefaultTreeConfig()),
+		TrainKNN("knn", train, 3),
+		NewNoOp("noop", 3, 1),
+	}
+	for _, m := range ms {
+		loaded := roundTrip(t, m)
+		requireSamePredictions(t, m, loaded, test.X)
+	}
+}
+
+func TestPersistScoresSurvive(t *testing.T) {
+	d := dataset.Gaussian(dataset.GaussianConfig{
+		Name: "p", N: 200, Dim: 8, NumClasses: 2, Separation: 4, Noise: 1, Seed: 3,
+	})
+	m := TrainLogisticRegression("lr", d, DefaultLinearConfig())
+	loaded := roundTrip(t, m).(Scorer)
+	for _, x := range d.X[:10] {
+		a := m.Scores(x)
+		b := loaded.Scores(x)
+		for c := range a {
+			if a[c] != b[c] {
+				t.Fatal("scores changed after reload")
+			}
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a model")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestLoadRejectsWrongMagic(t *testing.T) {
+	var buf bytes.Buffer
+	m := NewNoOp("n", 2, 0)
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the magic string inside the gob stream.
+	raw := buf.Bytes()
+	idx := bytes.Index(raw, []byte("CLIPPER-MODEL-V1"))
+	if idx < 0 {
+		t.Fatal("magic not found in stream")
+	}
+	raw[idx] = 'X'
+	if _, err := Load(bytes.NewReader(raw)); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+}
+
+func TestSaveRejectsUnknownModel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, unknownModel{}); err == nil {
+		t.Fatal("unknown model type accepted")
+	}
+}
+
+type unknownModel struct{}
+
+func (unknownModel) Name() string                      { return "?" }
+func (unknownModel) NumClasses() int                   { return 1 }
+func (unknownModel) Predict(x []float64) int           { return 0 }
+func (unknownModel) PredictBatch(xs [][]float64) []int { return make([]int, len(xs)) }
+
+func TestPersistTreeStructureExact(t *testing.T) {
+	// Beyond prediction equality: the reloaded tree must classify edge
+	// inputs (near thresholds) identically, which requires the structure
+	// to be bit-exact.
+	d := dataset.Gaussian(dataset.GaussianConfig{
+		Name: "p", N: 500, Dim: 6, NumClasses: 4, Separation: 3, Noise: 1, Seed: 9,
+	})
+	cfg := DefaultTreeConfig()
+	cfg.FeatureFraction = 1
+	m := TrainDecisionTree("tree", d, cfg)
+	loaded := roundTrip(t, m)
+	probe := dataset.Gaussian(dataset.GaussianConfig{
+		Name: "probe", N: 500, Dim: 6, NumClasses: 4, Separation: 1, Noise: 2, Seed: 10,
+	})
+	requireSamePredictions(t, m, loaded, probe.X)
+}

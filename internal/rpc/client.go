@@ -1,0 +1,195 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is a multiplexing RPC client: many goroutines may issue Call
+// concurrently over a single connection; responses are correlated by
+// request id.
+type Client struct {
+	conn io.ReadWriteCloser
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan *Frame
+	nextID  uint64
+	closed  bool
+	readErr error
+}
+
+// ErrClientClosed is returned by calls issued after Close (or after the
+// connection failed).
+var ErrClientClosed = errors.New("rpc: client closed")
+
+// Dial connects to a container server at addr (TCP).
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tcp, ok := conn.(*net.TCPConn); ok {
+		tcp.SetNoDelay(true) // latency matters more than packet count
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (or any ReadWriteCloser, e.g. a
+// bandwidth-limited simulated link) in a client and starts its read loop.
+func NewClient(conn io.ReadWriteCloser) *Client {
+	c := &Client{
+		conn:    conn,
+		pending: make(map[uint64]chan *Frame),
+	}
+	go c.readLoop()
+	return c
+}
+
+func (c *Client) readLoop() {
+	for {
+		f, err := ReadFrame(c.conn)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[f.ID]
+		if ok {
+			delete(c.pending, f.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- f
+		}
+		// Unmatched frames (e.g. responses to abandoned calls) are dropped.
+	}
+}
+
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	c.closed = true
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	pending := c.pending
+	c.pending = make(map[uint64]chan *Frame)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// Call sends a request and blocks for its response or ctx cancellation.
+func (c *Client) Call(ctx context.Context, method Method, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClientClosed
+		}
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan *Frame, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	req := &Frame{ID: id, Type: MsgRequest, Method: method, Payload: payload}
+	c.writeMu.Lock()
+	err := WriteFrame(c.conn, req)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	select {
+	case f, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.readErr
+			c.mu.Unlock()
+			if err == nil {
+				err = ErrClientClosed
+			}
+			return nil, err
+		}
+		if f.Type == MsgError {
+			return nil, &RemoteError{Message: string(f.Payload)}
+		}
+		return f.Payload, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// Ping round-trips a heartbeat frame.
+func (c *Client) Ping(ctx context.Context) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClientClosed
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan *Frame, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := WriteFrame(c.conn, &Frame{ID: id, Type: MsgPing})
+	c.writeMu.Unlock()
+	if err != nil {
+		return err
+	}
+	select {
+	case f, ok := <-ch:
+		if !ok {
+			return ErrClientClosed
+		}
+		if f.Type != MsgPong {
+			return fmt.Errorf("rpc: unexpected ping reply type %d", f.Type)
+		}
+		return nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Close tears down the connection; in-flight calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.readErr = ErrClientClosed
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// RemoteError carries an error string returned by the server.
+type RemoteError struct {
+	Message string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "rpc: remote error: " + e.Message }

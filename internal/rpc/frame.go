@@ -1,0 +1,98 @@
+// Package rpc implements the lightweight cross-process RPC system that
+// connects Clipper's model abstraction layer to its model containers
+// (paper §4.4).
+//
+// The protocol is a minimal length-prefixed binary framing over any
+// io.ReadWriter (normally TCP): each frame carries a request id for
+// response correlation, a message type, a method id, and an opaque payload.
+// Requests multiplex over one connection; the server may answer them out of
+// order. The codec for prediction batches lives in codec.go.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MsgType distinguishes frame kinds.
+type MsgType uint8
+
+// Frame kinds.
+const (
+	MsgRequest  MsgType = 0
+	MsgResponse MsgType = 1
+	MsgError    MsgType = 2
+	MsgPing     MsgType = 3
+	MsgPong     MsgType = 4
+)
+
+// Method identifies the remote operation being invoked.
+type Method uint8
+
+// Methods understood by model-container servers.
+const (
+	MethodPredict Method = 1
+	MethodInfo    Method = 2
+)
+
+// MaxFrameSize bounds a single frame's payload (64 MiB), protecting both
+// sides from corrupt length prefixes.
+const MaxFrameSize = 64 << 20
+
+// Frame is one protocol message.
+type Frame struct {
+	ID      uint64
+	Type    MsgType
+	Method  Method
+	Payload []byte
+}
+
+// frame header: 4 length + 8 id + 1 type + 1 method = 14 bytes; the length
+// field counts the 10 header bytes after it plus the payload.
+const headerLen = 14
+
+// ErrFrameTooLarge is returned when a frame exceeds MaxFrameSize.
+var ErrFrameTooLarge = errors.New("rpc: frame exceeds maximum size")
+
+// WriteFrame serializes f to w. It performs a single Write call so that
+// concurrent writers guarded by a mutex cannot interleave frames.
+func WriteFrame(w io.Writer, f *Frame) error {
+	if len(f.Payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	buf := make([]byte, headerLen+len(f.Payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(10+len(f.Payload)))
+	binary.LittleEndian.PutUint64(buf[4:12], f.ID)
+	buf[12] = byte(f.Type)
+	buf[13] = byte(f.Method)
+	copy(buf[headerLen:], f.Payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one frame from r.
+func ReadFrame(r io.Reader) (*Frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n < 10 {
+		return nil, fmt.Errorf("rpc: short frame length %d", n)
+	}
+	if n-10 > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return &Frame{
+		ID:      binary.LittleEndian.Uint64(body[0:8]),
+		Type:    MsgType(body[8]),
+		Method:  Method(body[9]),
+		Payload: body[10:],
+	}, nil
+}

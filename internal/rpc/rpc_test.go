@@ -1,0 +1,281 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Frame{ID: 42, Type: MsgRequest, Method: MethodPredict, Payload: []byte("hello")}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != 42 || out.Type != MsgRequest || out.Method != MethodPredict || string(out.Payload) != "hello" {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Frame{ID: 1, Type: MsgPing}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Payload) != 0 {
+		t.Fatalf("payload = %v", out.Payload)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteFrame(&buf, &Frame{Payload: make([]byte, MaxFrameSize+1)})
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v", err)
+	}
+	// A corrupt giant length prefix must be rejected on read too.
+	bad := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("read err = %v", err)
+	}
+}
+
+func TestFrameShortLength(t *testing.T) {
+	bad := []byte{2, 0, 0, 0, 0, 0}
+	if _, err := ReadFrame(bytes.NewReader(bad)); err == nil {
+		t.Fatal("expected error on short frame")
+	}
+}
+
+func TestFramePropertyRoundTrip(t *testing.T) {
+	f := func(id uint64, typ, method uint8, payload []byte) bool {
+		var buf bytes.Buffer
+		in := &Frame{ID: id, Type: MsgType(typ), Method: Method(method), Payload: payload}
+		if err := WriteFrame(&buf, in); err != nil {
+			return false
+		}
+		out, err := ReadFrame(&buf)
+		if err != nil {
+			return false
+		}
+		return out.ID == in.ID && out.Type == in.Type &&
+			out.Method == in.Method && bytes.Equal(out.Payload, in.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// echoHandler echoes payloads for MethodPredict and fails MethodInfo.
+func echoHandler(method Method, payload []byte) ([]byte, error) {
+	switch method {
+	case MethodPredict:
+		return payload, nil
+	default:
+		return nil, fmt.Errorf("boom")
+	}
+}
+
+func startServer(t *testing.T, h Handler) (addr string, stop func()) {
+	t.Helper()
+	srv := NewServer(h)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return addr, func() { srv.Close() }
+}
+
+func TestClientServerEcho(t *testing.T) {
+	addr, stop := startServer(t, echoHandler)
+	defer stop()
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Call(context.Background(), MethodPredict, []byte("abc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "abc" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestClientServerRemoteError(t *testing.T) {
+	addr, stop := startServer(t, echoHandler)
+	defer stop()
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Call(context.Background(), MethodInfo, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	if re.Message != "boom" {
+		t.Fatalf("message = %q", re.Message)
+	}
+}
+
+func TestClientPing(t *testing.T) {
+	addr, stop := startServer(t, echoHandler)
+	defer stop()
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientConcurrentCalls(t *testing.T) {
+	addr, stop := startServer(t, echoHandler)
+	defer stop()
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				msg := []byte(fmt.Sprintf("g%d-i%d", g, i))
+				resp, err := c.Call(context.Background(), MethodPredict, msg)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(resp, msg) {
+					errs <- fmt.Errorf("cross-talk: sent %q got %q", msg, resp)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestClientContextCancellation(t *testing.T) {
+	block := make(chan struct{})
+	addr, stop := startServer(t, func(Method, []byte) ([]byte, error) {
+		<-block
+		return nil, nil
+	})
+	defer stop()
+	defer close(block)
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err = c.Call(ctx, MethodPredict, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestClientFailsAfterServerClose(t *testing.T) {
+	addr, stop := startServer(t, echoHandler)
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(context.Background(), MethodPredict, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	// Allow the read loop to observe EOF.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := c.Call(context.Background(), MethodPredict, []byte("x")); err != nil {
+			return // expected failure path reached
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("calls kept succeeding after server close")
+}
+
+func TestClientCloseIdempotent(t *testing.T) {
+	addr, stop := startServer(t, echoHandler)
+	defer stop()
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call(context.Background(), MethodPredict, nil); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv := NewServer(echoHandler)
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerSlowRequestDoesNotBlockPing(t *testing.T) {
+	release := make(chan struct{})
+	addr, stop := startServer(t, func(Method, []byte) ([]byte, error) {
+		<-release
+		return []byte("done"), nil
+	})
+	defer stop()
+	defer close(release)
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	go c.Call(context.Background(), MethodPredict, nil) // parked in handler
+
+	time.Sleep(20 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := c.Ping(ctx); err != nil {
+		t.Fatalf("ping blocked behind slow request: %v", err)
+	}
+}

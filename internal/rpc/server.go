@@ -1,0 +1,149 @@
+package rpc
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+)
+
+// Handler processes one request and returns the response payload.
+type Handler func(method Method, payload []byte) ([]byte, error)
+
+// Server accepts connections and dispatches framed requests to a Handler.
+// Each request is served on its own goroutine so a slow batch on one
+// request id does not head-of-line-block heartbeats or other requests.
+type Server struct {
+	handler Handler
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a server dispatching to handler.
+func NewServer(handler Handler) *Server {
+	return &Server{handler: handler, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts accepting on addr ("host:port"; ":0" picks a free port) and
+// returns the bound address. Serving proceeds in the background until Close.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("rpc: server closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if tcp, ok := conn.(*net.TCPConn); ok {
+				tcp.SetNoDelay(true)
+			}
+			s.track(conn)
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.ServeConn(conn)
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) track(conn net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// ServeConn serves a single established connection until it fails or the
+// server closes. It may be used directly with in-memory pipes (tests,
+// simulated links).
+func (s *Server) ServeConn(conn io.ReadWriteCloser) {
+	defer conn.Close()
+	if nc, ok := conn.(net.Conn); ok {
+		defer s.untrack(nc)
+	}
+	var writeMu sync.Mutex
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		switch f.Type {
+		case MsgPing:
+			writeMu.Lock()
+			WriteFrame(conn, &Frame{ID: f.ID, Type: MsgPong})
+			writeMu.Unlock()
+		case MsgRequest:
+			reqWG.Add(1)
+			go func(f *Frame) {
+				defer reqWG.Done()
+				resp, err := s.handler(f.Method, f.Payload)
+				out := &Frame{ID: f.ID, Type: MsgResponse, Method: f.Method, Payload: resp}
+				if err != nil {
+					out.Type = MsgError
+					out.Payload = []byte(err.Error())
+				}
+				writeMu.Lock()
+				WriteFrame(conn, out)
+				writeMu.Unlock()
+			}(f)
+		default:
+			// Ignore unexpected frame kinds rather than killing the
+			// connection: forward compatibility.
+		}
+	}
+}
+
+// Close stops accepting, closes all live connections, and waits for
+// handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.listener
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,186 @@
+package selection
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"clipper/internal/container"
+)
+
+// runBandit plays a stationary Bernoulli bandit for n rounds and returns
+// the fraction of plays on each arm.
+func runBandit(t *testing.T, p Policy, armAcc []float64, n int, seed int64) []float64 {
+	t.Helper()
+	s := p.Init(len(armAcc))
+	rng := rand.New(rand.NewSource(seed))
+	plays := make([]float64, len(armAcc))
+	for q := 0; q < n; q++ {
+		sel := p.Select(s, rng.Float64())
+		if len(sel) != 1 {
+			t.Fatalf("%s selected %d arms", p.Name(), len(sel))
+		}
+		arm := sel[0]
+		plays[arm]++
+		label := 0
+		if rng.Float64() > armAcc[arm] {
+			label = 1 // wrong
+		}
+		preds := make([]*container.Prediction, len(armAcc))
+		preds[arm] = &container.Prediction{Label: label}
+		s = p.Observe(s, 0, preds)
+	}
+	for i := range plays {
+		plays[i] /= float64(n)
+	}
+	return plays
+}
+
+func TestUCB1ConvergesToBestArm(t *testing.T) {
+	p := NewUCB1()
+	plays := runBandit(t, p, []float64{0.4, 0.9, 0.5}, 3000, 1)
+	if plays[1] < 0.7 {
+		t.Fatalf("UCB1 best-arm share = %.3f, want >= 0.7 (plays %v)", plays[1], plays)
+	}
+}
+
+func TestUCB1ExploresAllArmsFirst(t *testing.T) {
+	p := NewUCB1()
+	s := p.Init(3)
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		arm := p.Select(s, 0.5)[0]
+		seen[arm] = true
+		preds := make([]*container.Prediction, 3)
+		preds[arm] = &container.Prediction{Label: 0}
+		s = p.Observe(s, 0, preds)
+	}
+	if len(seen) != 3 {
+		t.Fatalf("UCB1 did not try every arm first: %v", seen)
+	}
+}
+
+func TestUCB1StateLayout(t *testing.T) {
+	p := NewUCB1()
+	s := p.Init(2)
+	if len(s.Weights) != 4 {
+		t.Fatalf("state size = %d", len(s.Weights))
+	}
+	preds := []*container.Prediction{{Label: 0}, nil}
+	s = p.Observe(s, 0, preds) // correct: reward 1
+	if s.Weights[0] != 1 || s.Weights[1] != 1 {
+		t.Fatalf("arm 0 state = %v", s.Weights[:2])
+	}
+	s = p.Observe(s, 9, preds) // wrong: reward 0
+	if s.Weights[0] != 2 || s.Weights[1] != 1 {
+		t.Fatalf("arm 0 state = %v", s.Weights[:2])
+	}
+	// Confidence is the empirical mean.
+	_, conf := p.Combine(s, preds)
+	if math.Abs(conf-0.5) > 1e-9 {
+		t.Fatalf("conf = %v", conf)
+	}
+}
+
+func TestUCB1EmptyAndMissing(t *testing.T) {
+	p := NewUCB1()
+	if sel := p.Select(State{}, 0.5); sel != nil {
+		t.Fatalf("empty select = %v", sel)
+	}
+	pred, conf := p.Combine(p.Init(2), make([]*container.Prediction, 2))
+	if pred.Label != -1 || conf != 0 {
+		t.Fatalf("all-missing combine = %+v %v", pred, conf)
+	}
+}
+
+func TestThompsonConvergesToBestArm(t *testing.T) {
+	p := NewThompson()
+	plays := runBandit(t, p, []float64{0.4, 0.9, 0.5}, 3000, 2)
+	if plays[1] < 0.7 {
+		t.Fatalf("Thompson best-arm share = %.3f, want >= 0.7 (plays %v)", plays[1], plays)
+	}
+}
+
+func TestThompsonPosteriorUpdates(t *testing.T) {
+	p := NewThompson()
+	s := p.Init(2)
+	if len(s.Weights) != 4 || s.Weights[0] != 1 || s.Weights[1] != 1 {
+		t.Fatalf("prior = %v", s.Weights)
+	}
+	preds := []*container.Prediction{{Label: 5}, nil}
+	s = p.Observe(s, 5, preds) // success
+	if s.Weights[0] != 2 || s.Weights[1] != 1 {
+		t.Fatalf("posterior after success = %v", s.Weights[:2])
+	}
+	s = p.Observe(s, 0, preds) // failure
+	if s.Weights[0] != 2 || s.Weights[1] != 2 {
+		t.Fatalf("posterior after failure = %v", s.Weights[:2])
+	}
+	_, conf := p.Combine(s, preds)
+	if math.Abs(conf-0.5) > 1e-9 {
+		t.Fatalf("posterior-mean confidence = %v", conf)
+	}
+}
+
+func TestThompsonDeterministicInU(t *testing.T) {
+	// The interface contract: Select is a pure function of (state, u).
+	p := NewThompson()
+	s := p.Init(4)
+	s.Weights = []float64{5, 2, 1, 1, 2, 5, 3, 3}
+	for _, u := range []float64{0.1, 0.5, 0.9} {
+		a := p.Select(s, u)
+		b := p.Select(s, u)
+		if a[0] != b[0] {
+			t.Fatalf("Select not deterministic for u=%v", u)
+		}
+	}
+}
+
+func TestThompsonEmptyState(t *testing.T) {
+	p := NewThompson()
+	if sel := p.Select(State{}, 0.5); sel != nil {
+		t.Fatalf("empty select = %v", sel)
+	}
+}
+
+func TestSampleBetaMoments(t *testing.T) {
+	// Beta(8,2) has mean 0.8; the sampler's empirical mean should land
+	// near it.
+	next := splitmix64(12345)
+	sum := 0.0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		v := sampleBeta(8, 2, next)
+		if v < 0 || v > 1 {
+			t.Fatalf("beta sample %v out of [0,1]", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-0.8) > 0.05 {
+		t.Fatalf("Beta(8,2) empirical mean = %.3f, want ~0.8", mean)
+	}
+}
+
+func TestSampleGammaPositive(t *testing.T) {
+	next := splitmix64(777)
+	for _, shape := range []float64{0.5, 1, 3, 10} {
+		for i := 0; i < 100; i++ {
+			if g := sampleGamma(shape, next); g <= 0 || math.IsNaN(g) {
+				t.Fatalf("gamma(%v) sample = %v", shape, g)
+			}
+		}
+	}
+}
+
+func TestBanditsBeatUniformRandom(t *testing.T) {
+	// All three single-model policies should play the best arm far more
+	// than 1/k under a clear gap.
+	arms := []float64{0.3, 0.35, 0.95, 0.4}
+	for _, p := range []Policy{NewExp3(0.1), NewUCB1(), NewThompson()} {
+		plays := runBandit(t, p, arms, 4000, 7)
+		if plays[2] < 0.5 {
+			t.Errorf("%s best-arm share = %.3f, want >= 0.5", p.Name(), plays[2])
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package selection
+
+import (
+	"math"
+
+	"clipper/internal/container"
+)
+
+// StageConfidence estimates how sure a cascade stage is of its answer,
+// used by core's cascade serving path (the paper's "model composition"
+// direction: answer from a cheap model when it is confident, escalate to
+// the expensive ensemble otherwise).
+//
+// With one prediction carrying scores, confidence is the softmax
+// probability of the top class — the model's own calibrated certainty.
+// With several predictions (or no scores), it is the agreement fraction
+// among the available predictions, the same signal §5.2.1 uses.
+func StageConfidence(preds []*container.Prediction) (container.Prediction, float64) {
+	present := make([]*container.Prediction, 0, len(preds))
+	for _, p := range preds {
+		if p != nil {
+			present = append(present, p)
+		}
+	}
+	switch len(present) {
+	case 0:
+		return container.Prediction{Label: -1}, 0
+	case 1:
+		p := *present[0]
+		if len(p.Scores) > 1 {
+			return p, softmaxTop(p.Scores)
+		}
+		// A lone score-less prediction carries no confidence signal;
+		// report neutral 0.5 so thresholds above that always escalate.
+		return p, 0.5
+	default:
+		uniform := make([]float64, len(preds))
+		for i := range uniform {
+			uniform[i] = 1
+		}
+		winner, totalW, agreeW, _ := weightedVote(uniform, preds)
+		if totalW == 0 {
+			return winner, 0
+		}
+		return winner, agreeW / totalW
+	}
+}
+
+// softmaxTop returns the softmax probability of the maximum score.
+func softmaxTop(scores []float64) float64 {
+	max := math.Inf(-1)
+	for _, s := range scores {
+		if s > max {
+			max = s
+		}
+	}
+	var sum float64
+	for _, s := range scores {
+		sum += math.Exp(s - max)
+	}
+	if sum == 0 {
+		return 0
+	}
+	return 1 / sum // exp(max-max)/sum
+}

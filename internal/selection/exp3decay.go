@@ -1,0 +1,83 @@
+package selection
+
+import (
+	"math"
+
+	"clipper/internal/container"
+)
+
+// Exp3Decayed is Exp3 with forgetting, for non-stationary workloads (the
+// concept drift and feature corruption the paper's §2.2 motivates): after
+// every update, weights are pulled slightly toward uniform, so confidence
+// accumulated in a previously-best model decays and a quality flip is
+// picked up in bounded time — unlike vanilla Exp3, whose recovery time
+// grows with how long the old best model dominated.
+type Exp3Decayed struct {
+	// Eta is the learning rate.
+	Eta float64
+	// Gamma is the per-observation forgetting rate in (0,1): the weight
+	// mass blended back toward uniform each update.
+	Gamma float64
+}
+
+// NewExp3Decayed returns a decayed Exp3. eta <= 0 selects 0.1;
+// gamma out of (0,1) selects 0.01.
+func NewExp3Decayed(eta, gamma float64) *Exp3Decayed {
+	if eta <= 0 {
+		eta = 0.1
+	}
+	if gamma <= 0 || gamma >= 1 {
+		gamma = 0.01
+	}
+	return &Exp3Decayed{Eta: eta, Gamma: gamma}
+}
+
+// Name implements Policy.
+func (e *Exp3Decayed) Name() string { return "exp3-decayed" }
+
+// Init implements Policy.
+func (e *Exp3Decayed) Init(k int) State {
+	return NewExp3(e.Eta).Init(k)
+}
+
+// Select implements Policy (identical sampling to Exp3).
+func (e *Exp3Decayed) Select(s State, u float64) []int {
+	return NewExp3(e.Eta).Select(s, u)
+}
+
+// Combine implements Policy (identical to Exp3).
+func (e *Exp3Decayed) Combine(s State, preds []*container.Prediction) (container.Prediction, float64) {
+	return NewExp3(e.Eta).Combine(s, preds)
+}
+
+// Observe implements Policy: the Exp3 importance-weighted update followed
+// by a blend toward uniform.
+func (e *Exp3Decayed) Observe(s State, feedback int, preds []*container.Prediction) State {
+	out := s.Clone()
+	sum := 0.0
+	for _, w := range out.Weights {
+		sum += w
+	}
+	if sum <= 0 {
+		return out
+	}
+	for i, p := range preds {
+		if p == nil || i >= len(out.Weights) {
+			continue
+		}
+		pi := out.Weights[i] / sum
+		if pi <= 0 {
+			pi = minWeight
+		}
+		loss := Loss(feedback, p.Label)
+		out.Weights[i] *= math.Exp(-e.Eta * loss / pi)
+		break
+	}
+	normalize(out.Weights)
+	// Forgetting: blend toward uniform (weights are normalized to mean 1,
+	// so uniform is all-ones).
+	for i := range out.Weights {
+		out.Weights[i] = (1-e.Gamma)*out.Weights[i] + e.Gamma
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package selection
+
+import (
+	"math/rand"
+	"testing"
+
+	"clipper/internal/container"
+)
+
+// flipBandit plays phase 1 (arm 0 best) then flips qualities (arm 1 best),
+// returning how many post-flip queries each policy needed before its
+// selection probability for the new best arm exceeds 0.5.
+func flipBandit(t *testing.T, p Policy, phase1 int, seed int64) int {
+	t.Helper()
+	s := p.Init(2)
+	rng := rand.New(rand.NewSource(seed))
+	play := func(best int) {
+		sel := p.Select(s, rng.Float64())
+		arm := sel[0]
+		acc := 0.35
+		if arm == best {
+			acc = 0.9
+		}
+		label := 0
+		if rng.Float64() > acc {
+			label = 1
+		}
+		preds := make([]*container.Prediction, 2)
+		preds[arm] = &container.Prediction{Label: label}
+		s = p.Observe(s, 0, preds)
+	}
+	for i := 0; i < phase1; i++ {
+		play(0)
+	}
+	// Flip: arm 1 becomes best; count queries until weight mass follows.
+	const limit = 20000
+	for q := 1; q <= limit; q++ {
+		play(1)
+		sum := s.Weights[0] + s.Weights[1]
+		if s.Weights[1]/sum > 0.5 {
+			return q
+		}
+	}
+	return limit + 1
+}
+
+func TestExp3DecayedRecoversFasterAfterFlip(t *testing.T) {
+	const phase1 = 8000
+	vanilla := flipBandit(t, NewExp3(0.1), phase1, 3)
+	decayed := flipBandit(t, NewExp3Decayed(0.1, 0.01), phase1, 3)
+	if decayed >= vanilla {
+		t.Fatalf("decayed recovery %d queries !< vanilla %d", decayed, vanilla)
+	}
+	if decayed > 3000 {
+		t.Fatalf("decayed recovery too slow: %d queries", decayed)
+	}
+}
+
+func TestExp3DecayedStationaryConvergence(t *testing.T) {
+	// Forgetting must not destroy stationary performance: the policy
+	// still concentrates on a clearly best arm.
+	p := NewExp3Decayed(0.1, 0.01)
+	plays := runBandit(t, p, []float64{0.4, 0.9, 0.45}, 4000, 5)
+	if plays[1] < 0.5 {
+		t.Fatalf("best-arm share = %.3f", plays[1])
+	}
+}
+
+func TestExp3DecayedDefaults(t *testing.T) {
+	p := NewExp3Decayed(0, 0)
+	if p.Eta != 0.1 || p.Gamma != 0.01 {
+		t.Fatalf("defaults = %+v", p)
+	}
+	if p.Name() != "exp3-decayed" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	s := p.Init(3)
+	if len(s.Weights) != 3 {
+		t.Fatalf("Init = %v", s.Weights)
+	}
+	if sel := p.Select(s, 0.5); len(sel) != 1 {
+		t.Fatalf("Select = %v", sel)
+	}
+	pred, _ := p.Combine(s, []*container.Prediction{nil, {Label: 4}, nil})
+	if pred.Label != 4 {
+		t.Fatalf("Combine = %+v", pred)
+	}
+}

@@ -1,0 +1,197 @@
+package statestore
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Client is a Store backed by a remote statestore server. Requests on one
+// client are serialized over a single connection (matching how Clipper
+// uses Redis: short, small state reads/writes on the feedback path).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+var _ Store = (*Client)(nil)
+
+// DialStore connects to a statestore server at addr.
+func DialStore(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tcp, ok := conn.(*net.TCPConn); ok {
+		tcp.SetNoDelay(true)
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Get implements Store.
+func (c *Client) Get(key string) ([]byte, bool, error) {
+	if err := validKey(key); err != nil {
+		return nil, false, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.send("GET %s\n", key); err != nil {
+		return nil, false, err
+	}
+	line, err := c.line()
+	if err != nil {
+		return nil, false, err
+	}
+	switch {
+	case line == "$-1":
+		return nil, false, nil
+	case strings.HasPrefix(line, "$"):
+		n, err := strconv.Atoi(line[1:])
+		if err != nil || n < 0 {
+			return nil, false, fmt.Errorf("statestore: bad bulk length %q", line)
+		}
+		buf := make([]byte, n+1)
+		if _, err := io.ReadFull(c.r, buf); err != nil {
+			return nil, false, err
+		}
+		return buf[:n], true, nil
+	default:
+		return nil, false, protocolError(line)
+	}
+}
+
+// Set implements Store.
+func (c *Client) Set(key string, value []byte) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintf(c.w, "SET %s %d\n", key, len(value))
+	c.w.Write(value)
+	c.w.WriteByte('\n')
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.line()
+	if err != nil {
+		return err
+	}
+	if line != "+OK" {
+		return protocolError(line)
+	}
+	return nil
+}
+
+// Delete implements Store.
+func (c *Client) Delete(key string) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.send("DEL %s\n", key); err != nil {
+		return err
+	}
+	line, err := c.line()
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(line, ":") {
+		return protocolError(line)
+	}
+	return nil
+}
+
+// Keys implements Store.
+func (c *Client) Keys(prefix string) ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.send("KEYS %s\n", prefix); err != nil {
+		return nil, err
+	}
+	line, err := c.line()
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasPrefix(line, "*") {
+		return nil, protocolError(line)
+	}
+	n, err := strconv.Atoi(line[1:])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("statestore: bad array length %q", line)
+	}
+	keys := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		l, err := c.line()
+		if err != nil {
+			return nil, err
+		}
+		if !strings.HasPrefix(l, "+") {
+			return nil, protocolError(l)
+		}
+		keys = append(keys, l[1:])
+	}
+	return keys, nil
+}
+
+// Ping checks server liveness.
+func (c *Client) Ping() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.send("PING\n"); err != nil {
+		return err
+	}
+	line, err := c.line()
+	if err != nil {
+		return err
+	}
+	if line != "+PONG" {
+		return protocolError(line)
+	}
+	return nil
+}
+
+// Close implements Store.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *Client) send(format string, args ...interface{}) error {
+	fmt.Fprintf(c.w, format, args...)
+	return c.w.Flush()
+}
+
+func (c *Client) line() (string, error) {
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func validKey(key string) error {
+	if key == "" {
+		return fmt.Errorf("statestore: empty key")
+	}
+	if strings.ContainsAny(key, " \n\r") {
+		return fmt.Errorf("statestore: key %q contains whitespace", key)
+	}
+	return nil
+}
+
+func protocolError(line string) error {
+	if strings.HasPrefix(line, "-ERR ") {
+		return fmt.Errorf("statestore: %s", line[5:])
+	}
+	return fmt.Errorf("statestore: unexpected reply %q", line)
+}

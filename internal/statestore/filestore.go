@@ -1,0 +1,215 @@
+package statestore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// FileStore is a Store with append-only-log durability — the role Redis
+// persistence (AOF) plays for Clipper's per-context selection state, so
+// learned personalization survives serving-node restarts.
+//
+// Every Set/Delete appends a record to the log before updating the
+// in-memory state; OpenFileStore replays the log. Compact rewrites the log
+// as a snapshot of live keys.
+//
+// Record layout (little-endian): op u8 ('S' or 'D'), keyLen u16, key,
+// [valLen u32, val] (Set only).
+type FileStore struct {
+	mu   sync.Mutex
+	mem  *MemStore
+	path string
+	f    *os.File
+	w    *bufio.Writer
+}
+
+var _ Store = (*FileStore)(nil)
+
+const (
+	opSet byte = 'S'
+	opDel byte = 'D'
+)
+
+// OpenFileStore opens (or creates) a durable store backed by the log at
+// path, replaying any existing records.
+func OpenFileStore(path string) (*FileStore, error) {
+	mem := NewMemStore()
+	if f, err := os.Open(path); err == nil {
+		err := replayLog(f, mem)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("statestore: replaying %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &FileStore{mem: mem, path: path, f: f, w: bufio.NewWriter(f)}, nil
+}
+
+func replayLog(r io.Reader, mem *MemStore) error {
+	br := bufio.NewReader(r)
+	for {
+		op, err := br.ReadByte()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		var keyLen uint16
+		if err := binary.Read(br, binary.LittleEndian, &keyLen); err != nil {
+			return truncated(err)
+		}
+		key := make([]byte, keyLen)
+		if _, err := io.ReadFull(br, key); err != nil {
+			return truncated(err)
+		}
+		switch op {
+		case opSet:
+			var valLen uint32
+			if err := binary.Read(br, binary.LittleEndian, &valLen); err != nil {
+				return truncated(err)
+			}
+			if valLen > 64<<20 {
+				return fmt.Errorf("statestore: corrupt record (value %d bytes)", valLen)
+			}
+			val := make([]byte, valLen)
+			if _, err := io.ReadFull(br, val); err != nil {
+				return truncated(err)
+			}
+			mem.Set(string(key), val)
+		case opDel:
+			mem.Delete(string(key))
+		default:
+			return fmt.Errorf("statestore: corrupt record (op %q)", op)
+		}
+	}
+}
+
+// truncated maps unexpected EOFs mid-record to a clear error. A cleanly
+// truncated tail (e.g. crash mid-append) is reported rather than silently
+// accepted; recovery policy is the operator's call.
+func truncated(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("statestore: log truncated mid-record")
+	}
+	return err
+}
+
+func (s *FileStore) appendRecord(op byte, key string, val []byte) error {
+	if len(key) > 1<<16-1 {
+		return fmt.Errorf("statestore: key too long (%d bytes)", len(key))
+	}
+	s.w.WriteByte(op)
+	binary.Write(s.w, binary.LittleEndian, uint16(len(key)))
+	s.w.WriteString(key)
+	if op == opSet {
+		binary.Write(s.w, binary.LittleEndian, uint32(len(val)))
+		s.w.Write(val)
+	}
+	return s.w.Flush()
+}
+
+// Get implements Store.
+func (s *FileStore) Get(key string) ([]byte, bool, error) {
+	return s.mem.Get(key)
+}
+
+// Set implements Store: durable before visible.
+func (s *FileStore) Set(key string, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendRecord(opSet, key, value); err != nil {
+		return err
+	}
+	return s.mem.Set(key, value)
+}
+
+// Delete implements Store.
+func (s *FileStore) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendRecord(opDel, key, nil); err != nil {
+		return err
+	}
+	return s.mem.Delete(key)
+}
+
+// Keys implements Store.
+func (s *FileStore) Keys(prefix string) ([]string, error) {
+	return s.mem.Keys(prefix)
+}
+
+// Len returns the number of live keys.
+func (s *FileStore) Len() int { return s.mem.Len() }
+
+// Compact rewrites the log as a snapshot containing only live keys,
+// bounding log growth. Concurrent mutations block for the duration.
+func (s *FileStore) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp := s.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	keys, _ := s.mem.Keys("")
+	for _, k := range keys {
+		v, ok, _ := s.mem.Get(k)
+		if !ok {
+			continue
+		}
+		w.WriteByte(opSet)
+		binary.Write(w, binary.LittleEndian, uint16(len(k)))
+		w.WriteString(k)
+		binary.Write(w, binary.LittleEndian, uint32(len(v)))
+		w.Write(v)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	f.Close()
+
+	// Swap the compacted log in.
+	s.w.Flush()
+	s.f.Close()
+	if err := os.Rename(tmp, s.path); err != nil {
+		return err
+	}
+	nf, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.f = nf
+	s.w = bufio.NewWriter(nf)
+	return nil
+}
+
+// Close flushes and closes the log.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	s.w.Flush()
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

@@ -1,0 +1,183 @@
+package statestore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func tempStorePath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "state.log")
+}
+
+func TestFileStoreBasicOps(t *testing.T) {
+	s, err := OpenFileStore(tempStorePath(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Set("a", []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.Get("a")
+	if err != nil || !ok || !bytes.Equal(v, []byte{1, 2}) {
+		t.Fatalf("Get = %v %v %v", v, ok, err)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get("a"); ok {
+		t.Fatal("delete not applied")
+	}
+}
+
+func TestFileStoreSurvivesReopen(t *testing.T) {
+	path := tempStorePath(t)
+	s, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Set("user/1", []byte("alpha"))
+	s.Set("user/2", []byte("beta"))
+	s.Set("user/1", []byte("alpha-v2")) // overwrite
+	s.Delete("user/2")
+	s.Set("user/3", []byte{0, 10, 0}) // binary value
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	v, ok, _ := s2.Get("user/1")
+	if !ok || string(v) != "alpha-v2" {
+		t.Fatalf("user/1 = %q %v", v, ok)
+	}
+	if _, ok, _ := s2.Get("user/2"); ok {
+		t.Fatal("deleted key resurrected")
+	}
+	v, ok, _ = s2.Get("user/3")
+	if !ok || !bytes.Equal(v, []byte{0, 10, 0}) {
+		t.Fatalf("user/3 = %v %v", v, ok)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("Len = %d", s2.Len())
+	}
+}
+
+func TestFileStoreCompact(t *testing.T) {
+	path := tempStorePath(t)
+	s, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generate log churn: many overwrites of few keys.
+	for i := 0; i < 200; i++ {
+		s.Set("hot", bytes.Repeat([]byte{byte(i)}, 100))
+	}
+	s.Set("cold", []byte("keep"))
+	s.Delete("hot")
+	before, _ := os.Stat(path)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Fatalf("compaction did not shrink log: %d -> %d", before.Size(), after.Size())
+	}
+	// Store still writable after compaction.
+	if err := s.Set("post", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok, _ := s2.Get("hot"); ok {
+		t.Fatal("deleted key survived compaction")
+	}
+	if v, ok, _ := s2.Get("cold"); !ok || string(v) != "keep" {
+		t.Fatal("live key lost in compaction")
+	}
+	if v, ok, _ := s2.Get("post"); !ok || string(v) != "x" {
+		t.Fatal("post-compaction write lost")
+	}
+}
+
+func TestFileStoreRejectsCorruptLog(t *testing.T) {
+	path := tempStorePath(t)
+	if err := os.WriteFile(path, []byte{'Z', 0, 0}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileStore(path); err == nil {
+		t.Fatal("corrupt log accepted")
+	}
+}
+
+func TestFileStoreTruncatedLogDetected(t *testing.T) {
+	path := tempStorePath(t)
+	s, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Set("key", []byte("0123456789"))
+	s.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileStore(path); err == nil {
+		t.Fatal("truncated log accepted")
+	}
+}
+
+func TestFileStoreKeysPrefix(t *testing.T) {
+	s, err := OpenFileStore(tempStorePath(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Set("a/1", []byte("x"))
+	s.Set("b/1", []byte("y"))
+	keys, err := s.Keys("a/")
+	if err != nil || len(keys) != 1 || keys[0] != "a/1" {
+		t.Fatalf("Keys = %v %v", keys, err)
+	}
+}
+
+func TestFileStoreServesOverTCP(t *testing.T) {
+	// The durable store plugs into the same network server as MemStore.
+	s, err := OpenFileStore(tempStorePath(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(s)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	defer s.Close()
+	c, err := DialStore(addr, testDialTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := c.Get("k")
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("Get over TCP = %q %v %v", v, ok, err)
+	}
+}

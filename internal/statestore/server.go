@@ -1,0 +1,193 @@
+package statestore
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// The wire protocol is a minimal Redis-style text protocol with
+// binary-safe values:
+//
+//	GET <key>\n            -> $<n>\n<bytes>\n   or  $-1\n
+//	SET <key> <n>\n<bytes>\n -> +OK\n
+//	DEL <key>\n            -> :1\n
+//	KEYS <prefix>\n        -> *<n>\n then n lines +<key>\n
+//	PING\n                 -> +PONG\n
+//
+// Unknown or malformed commands answer -ERR <message>\n.
+
+// Server exposes a Store over TCP.
+type Server struct {
+	store Store
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a server backed by store.
+func NewServer(store Store) *Server {
+	return &Server{store: store, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen begins serving on addr (":0" picks a port) and returns the bound
+// address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serveConn(conn)
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		if err := s.handle(strings.TrimRight(line, "\r\n"), r, w); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(line string, r *bufio.Reader, w *bufio.Writer) error {
+	fields := strings.SplitN(line, " ", 3)
+	cmd := strings.ToUpper(fields[0])
+	switch cmd {
+	case "PING":
+		fmt.Fprint(w, "+PONG\n")
+	case "GET":
+		if len(fields) < 2 {
+			fmt.Fprint(w, "-ERR GET needs a key\n")
+			return nil
+		}
+		v, ok, err := s.store.Get(fields[1])
+		if err != nil {
+			fmt.Fprintf(w, "-ERR %s\n", err)
+			return nil
+		}
+		if !ok {
+			fmt.Fprint(w, "$-1\n")
+			return nil
+		}
+		fmt.Fprintf(w, "$%d\n", len(v))
+		w.Write(v)
+		fmt.Fprint(w, "\n")
+	case "SET":
+		if len(fields) < 3 {
+			fmt.Fprint(w, "-ERR SET needs key and length\n")
+			return nil
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n < 0 || n > 64<<20 {
+			fmt.Fprint(w, "-ERR bad value length\n")
+			return nil
+		}
+		buf := make([]byte, n+1) // value + trailing newline
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return err
+		}
+		if err := s.store.Set(fields[1], buf[:n]); err != nil {
+			fmt.Fprintf(w, "-ERR %s\n", err)
+			return nil
+		}
+		fmt.Fprint(w, "+OK\n")
+	case "DEL":
+		if len(fields) < 2 {
+			fmt.Fprint(w, "-ERR DEL needs a key\n")
+			return nil
+		}
+		if err := s.store.Delete(fields[1]); err != nil {
+			fmt.Fprintf(w, "-ERR %s\n", err)
+			return nil
+		}
+		fmt.Fprint(w, ":1\n")
+	case "KEYS":
+		prefix := ""
+		if len(fields) >= 2 {
+			prefix = fields[1]
+		}
+		keys, err := s.store.Keys(prefix)
+		if err != nil {
+			fmt.Fprintf(w, "-ERR %s\n", err)
+			return nil
+		}
+		fmt.Fprintf(w, "*%d\n", len(keys))
+		for _, k := range keys {
+			fmt.Fprintf(w, "+%s\n", k)
+		}
+	default:
+		fmt.Fprintf(w, "-ERR unknown command %q\n", cmd)
+	}
+	return nil
+}
+
+// Close stops the server and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.listener
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}

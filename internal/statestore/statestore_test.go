@@ -1,0 +1,283 @@
+package statestore
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMemStoreBasics(t *testing.T) {
+	s := NewMemStore()
+	if _, ok, _ := s.Get("missing"); ok {
+		t.Fatal("empty store must miss")
+	}
+	if err := s.Set("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.Get("a")
+	if err != nil || !ok || string(v) != "1" {
+		t.Fatalf("Get = %q %v %v", v, ok, err)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get("a"); ok {
+		t.Fatal("deleted key still present")
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal("deleting missing key should not error")
+	}
+}
+
+func TestMemStoreCopiesValues(t *testing.T) {
+	s := NewMemStore()
+	val := []byte("abc")
+	s.Set("k", val)
+	val[0] = 'Z'
+	got, _, _ := s.Get("k")
+	if string(got) != "abc" {
+		t.Fatal("store aliased caller's buffer on Set")
+	}
+	got[0] = 'Q'
+	got2, _, _ := s.Get("k")
+	if string(got2) != "abc" {
+		t.Fatal("store aliased its buffer on Get")
+	}
+}
+
+func TestMemStoreKeysPrefix(t *testing.T) {
+	s := NewMemStore()
+	for _, k := range []string{"ctx/u1", "ctx/u2", "other/x"} {
+		s.Set(k, []byte("v"))
+	}
+	keys, err := s.Keys("ctx/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(keys, []string{"ctx/u1", "ctx/u2"}) {
+		t.Fatalf("Keys = %v", keys)
+	}
+	all, _ := s.Keys("")
+	if len(all) != 3 {
+		t.Fatalf("all keys = %v", all)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestMemStoreConcurrent(t *testing.T) {
+	s := NewMemStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("g%d/k%d", g, i)
+				s.Set(k, []byte{byte(i)})
+				if v, ok, _ := s.Get(k); !ok || v[0] != byte(i) {
+					t.Errorf("lost write %s", k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 1600 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func startStoreServer(t *testing.T) (*Client, func()) {
+	t.Helper()
+	srv := NewServer(NewMemStore())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialStore(addr, time.Second)
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	return c, func() {
+		c.Close()
+		srv.Close()
+	}
+}
+
+func TestClientServerRoundTrip(t *testing.T) {
+	c, stop := startStoreServer(t)
+	defer stop()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.Get("missing"); err != nil || ok {
+		t.Fatalf("missing Get = %v %v", ok, err)
+	}
+	if err := c.Set("user/7", []byte{0, 1, 2, 255}); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := c.Get("user/7")
+	if err != nil || !ok || !bytes.Equal(v, []byte{0, 1, 2, 255}) {
+		t.Fatalf("Get = %v %v %v", v, ok, err)
+	}
+	if err := c.Delete("user/7"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c.Get("user/7"); ok {
+		t.Fatal("delete did not take effect")
+	}
+}
+
+func TestClientServerBinaryValuesWithNewlines(t *testing.T) {
+	c, stop := startStoreServer(t)
+	defer stop()
+	val := []byte("line1\nline2\r\n\x00binary")
+	if err := c.Set("k", val); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Get("k")
+	if err != nil || !ok || !bytes.Equal(got, val) {
+		t.Fatalf("binary value corrupted: %q", got)
+	}
+}
+
+func TestClientServerEmptyValue(t *testing.T) {
+	c, stop := startStoreServer(t)
+	defer stop()
+	if err := c.Set("k", nil); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := c.Get("k")
+	if err != nil || !ok || len(v) != 0 {
+		t.Fatalf("empty value = %v %v %v", v, ok, err)
+	}
+}
+
+func TestClientServerKeys(t *testing.T) {
+	c, stop := startStoreServer(t)
+	defer stop()
+	for _, k := range []string{"s/a", "s/b", "t/c"} {
+		if err := c.Set(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := c.Keys("s/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(keys, []string{"s/a", "s/b"}) {
+		t.Fatalf("Keys = %v", keys)
+	}
+	none, err := c.Keys("zzz")
+	if err != nil || len(none) != 0 {
+		t.Fatalf("Keys(zzz) = %v %v", none, err)
+	}
+}
+
+func TestClientRejectsBadKeys(t *testing.T) {
+	c, stop := startStoreServer(t)
+	defer stop()
+	for _, k := range []string{"", "has space", "has\nnewline"} {
+		if err := c.Set(k, []byte("v")); err == nil {
+			t.Fatalf("key %q accepted", k)
+		}
+		if _, _, err := c.Get(k); err == nil {
+			t.Fatalf("Get key %q accepted", k)
+		}
+		if err := c.Delete(k); err == nil {
+			t.Fatalf("Delete key %q accepted", k)
+		}
+	}
+}
+
+func TestClientConcurrent(t *testing.T) {
+	c, stop := startStoreServer(t)
+	defer stop()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := fmt.Sprintf("g%d/k%d", g, i)
+				want := []byte(fmt.Sprintf("value-%d-%d", g, i))
+				if err := c.Set(k, want); err != nil {
+					t.Error(err)
+					return
+				}
+				got, ok, err := c.Get(k)
+				if err != nil || !ok || !bytes.Equal(got, want) {
+					t.Errorf("round trip %s: %q %v %v", k, got, ok, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestServerUnknownCommand(t *testing.T) {
+	srv := NewServer(NewMemStore())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := DialStore(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Speak raw protocol through the client internals: send garbage via
+	// a Get on a key the server will see as malformed command? Instead,
+	// check that an -ERR reply is surfaced: use SET with a huge length
+	// by crafting a key that breaks fields? Simplest: raw conn.
+	if err := c.send("BOGUS\n"); err != nil {
+		t.Fatal(err)
+	}
+	line, err := c.line()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line == "" || line[0] != '-' {
+		t.Fatalf("expected error reply, got %q", line)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv := NewServer(NewMemStore())
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStorePropertySetGet(t *testing.T) {
+	s := NewMemStore()
+	f := func(key uint32, val []byte) bool {
+		k := fmt.Sprintf("k%d", key)
+		if err := s.Set(k, val); err != nil {
+			return false
+		}
+		got, ok, err := s.Get(k)
+		return err == nil && ok && bytes.Equal(got, val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testDialTimeout is the dial timeout used by network tests.
+const testDialTimeout = time.Second

@@ -1,0 +1,384 @@
+// Package workload generates the query streams and failure scenarios the
+// paper's experiments run: open-loop Poisson and bursty arrivals,
+// closed-loop worker pools, popularity-skewed query sampling, and
+// injectable model degradation (Figure 8).
+package workload
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"clipper/internal/container"
+	"clipper/internal/dataset"
+	"clipper/internal/frameworks"
+)
+
+// Sample is one workload query: the input vector and its true label.
+type Sample struct {
+	X     []float64
+	Label int
+	// Group is the example's dataset group (e.g. dialect), -1 if none.
+	Group int
+}
+
+// Sampler produces a stream of queries drawn from a dataset.
+type Sampler interface {
+	// Next returns the next query. Implementations are safe for
+	// concurrent use.
+	Next() Sample
+}
+
+// UniformSampler draws examples uniformly at random with replacement.
+type UniformSampler struct {
+	ds *dataset.Dataset
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewUniformSampler returns a uniform sampler over ds.
+func NewUniformSampler(ds *dataset.Dataset, seed int64) *UniformSampler {
+	return &UniformSampler{ds: ds, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements Sampler.
+func (s *UniformSampler) Next() Sample {
+	s.mu.Lock()
+	i := s.rng.Intn(s.ds.Len())
+	s.mu.Unlock()
+	return s.sample(i)
+}
+
+func (s *UniformSampler) sample(i int) Sample {
+	out := Sample{X: s.ds.X[i], Label: s.ds.Y[i], Group: -1}
+	if s.ds.Group != nil {
+		out.Group = s.ds.Group[i]
+	}
+	return out
+}
+
+// ZipfSampler draws examples with Zipfian popularity: a few "hot" queries
+// dominate, which is the regime where the prediction cache pays off
+// (content recommendation in §4.2).
+type ZipfSampler struct {
+	ds *dataset.Dataset
+
+	mu   sync.Mutex
+	zipf *rand.Zipf
+	perm []int
+}
+
+// NewZipfSampler returns a sampler where the i-th most popular example is
+// drawn with probability ∝ 1/(i+1)^s. s must be > 1.
+func NewZipfSampler(ds *dataset.Dataset, s float64, seed int64) *ZipfSampler {
+	if s <= 1 {
+		s = 1.2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &ZipfSampler{
+		ds:   ds,
+		zipf: rand.NewZipf(rng, s, 1, uint64(ds.Len()-1)),
+		perm: rng.Perm(ds.Len()),
+	}
+}
+
+// Next implements Sampler.
+func (z *ZipfSampler) Next() Sample {
+	z.mu.Lock()
+	rank := int(z.zipf.Uint64())
+	i := z.perm[rank]
+	z.mu.Unlock()
+	out := Sample{X: z.ds.X[i], Label: z.ds.Y[i], Group: -1}
+	if z.ds.Group != nil {
+		out.Group = z.ds.Group[i]
+	}
+	return out
+}
+
+// SequentialSampler replays the dataset in order, wrapping around. It
+// drives the deterministic 20K-query run of Figure 8.
+type SequentialSampler struct {
+	ds *dataset.Dataset
+
+	mu   sync.Mutex
+	next int
+}
+
+// NewSequentialSampler returns a sampler replaying ds in order.
+func NewSequentialSampler(ds *dataset.Dataset) *SequentialSampler {
+	return &SequentialSampler{ds: ds}
+}
+
+// Next implements Sampler.
+func (s *SequentialSampler) Next() Sample {
+	s.mu.Lock()
+	i := s.next
+	s.next = (s.next + 1) % s.ds.Len()
+	s.mu.Unlock()
+	out := Sample{X: s.ds.X[i], Label: s.ds.Y[i], Group: -1}
+	if s.ds.Group != nil {
+		out.Group = s.ds.Group[i]
+	}
+	return out
+}
+
+// RunClosedLoop runs workers concurrent clients, each issuing queries
+// back-to-back until the context is done or each has issued perWorker
+// queries (0 = until ctx done). fn is called once per query.
+func RunClosedLoop(ctx context.Context, workers, perWorker int, fn func(worker int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; perWorker == 0 || i < perWorker; i++ {
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
+				fn(w)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// RunOpenLoop issues queries at an average rate (queries/second) with
+// exponential inter-arrival gaps for the given duration, invoking fn on
+// its own goroutine per query (open loop: arrivals do not wait for
+// completions). Arrivals are paced against absolute wall-clock targets so
+// sleep overshoot does not depress the offered rate. It returns the number
+// of issued queries after all in-flight fns finish.
+func RunOpenLoop(ctx context.Context, rate float64, duration time.Duration, seed int64, fn func()) int {
+	if rate <= 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	start := time.Now()
+	deadline := start.Add(duration)
+	next := start
+	var wg sync.WaitGroup
+	issued := 0
+	for next.Before(deadline) {
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return issued
+		default:
+		}
+		if wait := time.Until(next); wait > 0 {
+			frameworks.Sleep(wait)
+		}
+		wg.Add(1)
+		issued++
+		go func() {
+			defer wg.Done()
+			fn()
+		}()
+		next = next.Add(time.Duration(rng.ExpFloat64() / rate * float64(time.Second)))
+	}
+	wg.Wait()
+	return issued
+}
+
+// Burst describes one phase of a bursty arrival process.
+type Burst struct {
+	// Rate is the phase's arrival rate in queries/second.
+	Rate float64
+	// Duration is how long the phase lasts.
+	Duration time.Duration
+}
+
+// RunBursty runs the phases in order (looping if loop is true) until ctx
+// is done or one pass completes. It returns issued queries.
+func RunBursty(ctx context.Context, phases []Burst, loop bool, seed int64, fn func()) int {
+	issued := 0
+	for {
+		for _, ph := range phases {
+			select {
+			case <-ctx.Done():
+				return issued
+			default:
+			}
+			issued += RunOpenLoop(ctx, ph.Rate, ph.Duration, seed+int64(issued), fn)
+		}
+		if !loop {
+			return issued
+		}
+	}
+}
+
+// Degradable wraps a model container and can be switched into a degraded
+// mode where it predicts uniformly random labels — the "severe model
+// degradation" of Figure 8 (e.g. feature corruption upstream of the
+// model).
+type Degradable struct {
+	inner container.Predictor
+
+	mu       sync.Mutex
+	degraded bool
+	rng      *rand.Rand
+	classes  int
+}
+
+// NewDegradable wraps inner. classes is the label cardinality used when
+// degraded (0 takes it from inner's Info).
+func NewDegradable(inner container.Predictor, classes int, seed int64) *Degradable {
+	if classes <= 0 {
+		classes = inner.Info().NumClasses
+	}
+	if classes <= 0 {
+		classes = 2
+	}
+	return &Degradable{inner: inner, rng: rand.New(rand.NewSource(seed)), classes: classes}
+}
+
+// SetDegraded switches degradation on or off.
+func (d *Degradable) SetDegraded(v bool) {
+	d.mu.Lock()
+	d.degraded = v
+	d.mu.Unlock()
+}
+
+// Degraded reports the current mode.
+func (d *Degradable) Degraded() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.degraded
+}
+
+// Info implements container.Predictor.
+func (d *Degradable) Info() container.Info { return d.inner.Info() }
+
+// PredictBatch implements container.Predictor.
+func (d *Degradable) PredictBatch(xs [][]float64) ([]container.Prediction, error) {
+	d.mu.Lock()
+	degraded := d.degraded
+	var labels []int
+	if degraded {
+		labels = make([]int, len(xs))
+		for i := range labels {
+			labels[i] = d.rng.Intn(d.classes)
+		}
+	}
+	d.mu.Unlock()
+	if !degraded {
+		return d.inner.PredictBatch(xs)
+	}
+	out := make([]container.Prediction, len(xs))
+	for i := range out {
+		out[i] = container.Prediction{Label: labels[i]}
+	}
+	return out, nil
+}
+
+// CumulativeError tracks the running average 0/1 error of a prediction
+// stream, the quantity plotted in Figure 8.
+type CumulativeError struct {
+	mu      sync.Mutex
+	queries int
+	errors  int
+	curve   []float64
+	every   int
+}
+
+// NewCumulativeError returns a tracker that records one curve point per
+// `every` queries (min 1).
+func NewCumulativeError(every int) *CumulativeError {
+	if every < 1 {
+		every = 1
+	}
+	return &CumulativeError{every: every}
+}
+
+// Observe records one prediction outcome.
+func (c *CumulativeError) Observe(correct bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.queries++
+	if !correct {
+		c.errors++
+	}
+	if c.queries%c.every == 0 {
+		c.curve = append(c.curve, float64(c.errors)/float64(c.queries))
+	}
+}
+
+// Rate returns the current cumulative error rate.
+func (c *CumulativeError) Rate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.queries == 0 {
+		return 0
+	}
+	return float64(c.errors) / float64(c.queries)
+}
+
+// Curve returns the recorded curve points.
+func (c *CumulativeError) Curve() []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]float64(nil), c.curve...)
+}
+
+// WindowError tracks error over a trailing window, used to verify
+// recovery speed.
+type WindowError struct {
+	mu   sync.Mutex
+	ring []bool
+	next int
+	full bool
+}
+
+// NewWindowError returns a tracker over the last n outcomes.
+func NewWindowError(n int) *WindowError {
+	if n < 1 {
+		n = 1
+	}
+	return &WindowError{ring: make([]bool, n)}
+}
+
+// Observe records one prediction outcome.
+func (w *WindowError) Observe(correct bool) {
+	w.mu.Lock()
+	w.ring[w.next] = !correct
+	w.next++
+	if w.next == len(w.ring) {
+		w.next = 0
+		w.full = true
+	}
+	w.mu.Unlock()
+}
+
+// Rate returns the trailing-window error rate.
+func (w *WindowError) Rate() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := w.next
+	if w.full {
+		n = len(w.ring)
+	}
+	if n == 0 {
+		return 0
+	}
+	errs := 0
+	for i := 0; i < n; i++ {
+		if w.ring[i] {
+			errs++
+		}
+	}
+	return float64(errs) / float64(n)
+}
+
+// PoissonGap returns an exponential inter-arrival gap for the given rate,
+// for callers pacing their own loops.
+func PoissonGap(rng *rand.Rand, rate float64) time.Duration {
+	if rate <= 0 {
+		return math.MaxInt64
+	}
+	return time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+}

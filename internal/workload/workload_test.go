@@ -1,0 +1,289 @@
+package workload
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clipper/internal/container"
+	"clipper/internal/dataset"
+)
+
+func testDS(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	return dataset.Gaussian(dataset.GaussianConfig{
+		Name: "w", N: 200, Dim: 4, NumClasses: 3, Separation: 3, Noise: 1, Seed: 1,
+	})
+}
+
+func TestUniformSamplerCoverage(t *testing.T) {
+	ds := testDS(t)
+	s := NewUniformSampler(ds, 1)
+	seen := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		smp := s.Next()
+		if smp.Label < 0 || smp.Label >= 3 {
+			t.Fatalf("label %d out of range", smp.Label)
+		}
+		if smp.Group != -1 {
+			t.Fatalf("ungrouped dataset gave group %d", smp.Group)
+		}
+		seen[int(smp.X[0]*1000)] = true
+	}
+	if len(seen) < 50 {
+		t.Fatalf("uniform sampler visited too few examples: %d", len(seen))
+	}
+}
+
+func TestZipfSamplerSkew(t *testing.T) {
+	ds := testDS(t)
+	s := NewZipfSampler(ds, 1.5, 2)
+	counts := map[uint64]int{}
+	keyOf := func(x []float64) uint64 { return math.Float64bits(x[0]) }
+	const n = 5000
+	for i := 0; i < n; i++ {
+		counts[keyOf(s.Next().X)]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// The hottest query should dominate (far above uniform 1/200 share).
+	if float64(max)/n < 0.10 {
+		t.Fatalf("Zipf hottest share = %.3f, want >= 0.10", float64(max)/n)
+	}
+	// Degenerate s falls back.
+	fallback := NewZipfSampler(ds, 0.5, 2)
+	fallback.Next()
+}
+
+func TestSequentialSamplerWrapsAround(t *testing.T) {
+	ds := testDS(t)
+	s := NewSequentialSampler(ds)
+	for i := 0; i < ds.Len(); i++ {
+		smp := s.Next()
+		if smp.Label != ds.Y[i] {
+			t.Fatalf("sample %d out of order", i)
+		}
+	}
+	smp := s.Next()
+	if smp.Label != ds.Y[0] {
+		t.Fatal("did not wrap around")
+	}
+}
+
+func TestSamplersGrouped(t *testing.T) {
+	ds := dataset.SpeechLike(dataset.SpeechConfig{N: 100, NumDialects: 4, NumSpeakers: 20, Dim: 8, NumPhonemes: 5, Seed: 1})
+	u := NewUniformSampler(ds, 1)
+	if g := u.Next().Group; g < 0 || g >= 4 {
+		t.Fatalf("group = %d", g)
+	}
+	seq := NewSequentialSampler(ds)
+	if g := seq.Next().Group; g != ds.Group[0] {
+		t.Fatal("sequential group mismatch")
+	}
+	z := NewZipfSampler(ds, 1.5, 1)
+	if g := z.Next().Group; g < 0 || g >= 4 {
+		t.Fatalf("zipf group = %d", g)
+	}
+}
+
+func TestRunClosedLoopCount(t *testing.T) {
+	var n atomic.Int64
+	RunClosedLoop(context.Background(), 4, 25, func(w int) {
+		n.Add(1)
+	})
+	if n.Load() != 100 {
+		t.Fatalf("ran %d queries, want 100", n.Load())
+	}
+}
+
+func TestRunClosedLoopCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var n atomic.Int64
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		RunClosedLoop(ctx, 2, 0, func(w int) {
+			n.Add(1)
+			time.Sleep(time.Millisecond)
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("closed loop did not stop on cancellation")
+	}
+}
+
+func TestRunOpenLoopRate(t *testing.T) {
+	var n atomic.Int64
+	issued := RunOpenLoop(context.Background(), 1000, 200*time.Millisecond, 1, func() {
+		n.Add(1)
+	})
+	if issued != int(n.Load()) {
+		t.Fatalf("issued %d != executed %d", issued, n.Load())
+	}
+	// ~200 expected; allow generous slack for scheduler noise.
+	if issued < 50 || issued > 600 {
+		t.Fatalf("issued %d queries at 1000qps for 200ms, want ~200", issued)
+	}
+	if RunOpenLoop(context.Background(), 0, time.Second, 1, func() {}) != 0 {
+		t.Fatal("zero rate should issue nothing")
+	}
+}
+
+func TestRunBurstyPhases(t *testing.T) {
+	var n atomic.Int64
+	issued := RunBursty(context.Background(), []Burst{
+		{Rate: 500, Duration: 50 * time.Millisecond},
+		{Rate: 2000, Duration: 50 * time.Millisecond},
+	}, false, 1, func() { n.Add(1) })
+	if issued == 0 || issued != int(n.Load()) {
+		t.Fatalf("issued = %d executed = %d", issued, n.Load())
+	}
+}
+
+type constModel struct{ label int }
+
+func (c *constModel) Info() container.Info {
+	return container.Info{Name: "const", Version: 1, NumClasses: 10}
+}
+func (c *constModel) PredictBatch(xs [][]float64) ([]container.Prediction, error) {
+	out := make([]container.Prediction, len(xs))
+	for i := range out {
+		out[i] = container.Prediction{Label: c.label}
+	}
+	return out, nil
+}
+
+func TestDegradable(t *testing.T) {
+	d := NewDegradable(&constModel{label: 3}, 0, 1)
+	if d.Degraded() {
+		t.Fatal("initially degraded")
+	}
+	preds, err := d.PredictBatch(make([][]float64, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range preds {
+		if p.Label != 3 {
+			t.Fatal("healthy mode altered predictions")
+		}
+	}
+	d.SetDegraded(true)
+	if !d.Degraded() {
+		t.Fatal("SetDegraded failed")
+	}
+	distinct := map[int]bool{}
+	for i := 0; i < 50; i++ {
+		preds, _ := d.PredictBatch(make([][]float64, 1))
+		distinct[preds[0].Label] = true
+		if preds[0].Label < 0 || preds[0].Label >= 10 {
+			t.Fatalf("degraded label %d out of range", preds[0].Label)
+		}
+	}
+	if len(distinct) < 3 {
+		t.Fatalf("degraded predictions not random: %v", distinct)
+	}
+	d.SetDegraded(false)
+	preds, _ = d.PredictBatch(make([][]float64, 1))
+	if preds[0].Label != 3 {
+		t.Fatal("recovery did not restore predictions")
+	}
+}
+
+func TestDegradableClassFallback(t *testing.T) {
+	zero := &constModel{}
+	d := NewDegradable(zeroClassModel{zero}, 0, 1)
+	d.SetDegraded(true)
+	preds, err := d.PredictBatch(make([][]float64, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range preds {
+		if p.Label < 0 || p.Label >= 2 {
+			t.Fatalf("fallback classes violated: %d", p.Label)
+		}
+	}
+}
+
+type zeroClassModel struct{ inner container.Predictor }
+
+func (z zeroClassModel) Info() container.Info {
+	return container.Info{Name: "zero", Version: 1, NumClasses: 0}
+}
+func (z zeroClassModel) PredictBatch(xs [][]float64) ([]container.Prediction, error) {
+	return z.inner.PredictBatch(xs)
+}
+
+func TestCumulativeError(t *testing.T) {
+	c := NewCumulativeError(2)
+	if c.Rate() != 0 {
+		t.Fatal("empty rate should be 0")
+	}
+	c.Observe(true)
+	c.Observe(false)
+	c.Observe(false)
+	c.Observe(false)
+	if got := c.Rate(); math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("Rate = %v", got)
+	}
+	curve := c.Curve()
+	if len(curve) != 2 {
+		t.Fatalf("curve = %v", curve)
+	}
+	if math.Abs(curve[0]-0.5) > 1e-9 || math.Abs(curve[1]-0.75) > 1e-9 {
+		t.Fatalf("curve = %v", curve)
+	}
+}
+
+func TestWindowError(t *testing.T) {
+	w := NewWindowError(4)
+	if w.Rate() != 0 {
+		t.Fatal("empty rate should be 0")
+	}
+	for i := 0; i < 4; i++ {
+		w.Observe(false) // all errors
+	}
+	if w.Rate() != 1 {
+		t.Fatalf("Rate = %v", w.Rate())
+	}
+	for i := 0; i < 4; i++ {
+		w.Observe(true) // window now all correct
+	}
+	if w.Rate() != 0 {
+		t.Fatalf("Rate after recovery = %v", w.Rate())
+	}
+}
+
+func TestSamplersConcurrent(t *testing.T) {
+	ds := testDS(t)
+	samplers := []Sampler{
+		NewUniformSampler(ds, 1),
+		NewZipfSampler(ds, 1.5, 1),
+		NewSequentialSampler(ds),
+	}
+	for _, s := range samplers {
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 100; i++ {
+					s.Next()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
