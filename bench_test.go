@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -127,6 +128,43 @@ func BenchmarkPredictPath(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPredictPathParallel drives the same end-to-end prediction path
+// from GOMAXPROCS goroutines at once — the regime the sharded prediction
+// cache exists for: without lock striping every Predict serializes on the
+// cache's single mutex. Compare with BenchmarkPredictPath (serial) and
+// internal/cache's BenchmarkCacheParallel (cache in isolation).
+func BenchmarkPredictPathParallel(b *testing.B) {
+	cl := clipper.New(clipper.Config{})
+	defer cl.Close()
+	if _, err := cl.Deploy(benchModel{}, nil, clipper.QueueConfig{
+		Controller: clipper.NewFixedBatch(64),
+	}); err != nil {
+		b.Fatal(err)
+	}
+	app, err := cl.RegisterApp(clipper.AppConfig{
+		Name: "bench", Models: []string{"bench-model"}, Policy: clipper.NewStaticPolicy(0),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	var gid atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		x := make([]float64, 64)
+		i := gid.Add(1) * 1_000_003
+		for pb.Next() {
+			i++
+			x[0] = float64(i % 4096) // bounded distinct queries exercise the cache
+			if _, err := app.Predict(ctx, x); err != nil {
+				b.Error(err) // Fatal must not run on a RunParallel worker
+				return
+			}
+		}
+	})
 }
 
 // BenchmarkFeedbackPath measures the feedback-join path.

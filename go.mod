@@ -1,0 +1,3 @@
+module clipper
+
+go 1.24

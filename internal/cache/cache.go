@@ -7,13 +7,25 @@
 // The cache serves two roles in Clipper: partial pre-materialization of
 // popular queries, and an efficient join between recent predictions and
 // subsequently arriving feedback for the model selection layer.
+//
+// To keep the Predict hot path scalable, the cache is lock-striped into
+// power-of-two shards (sized from GOMAXPROCS): each shard owns its own
+// CLOCK ring, index, and pending-subscriber table behind an independent
+// mutex, so concurrent queries for different keys proceed without
+// contending on a single global lock. Keys are routed to shards by mixing
+// Key.QueryID, reusing the HashQuery content hash already computed on the
+// request path. Hit/miss counters are per-shard atomics aggregated by
+// Stats, so totals stay exact under concurrency.
 package cache
 
 import (
 	"encoding/binary"
 	"hash/fnv"
 	"math"
+	"math/bits"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"clipper/internal/container"
 )
@@ -47,43 +59,122 @@ type slot struct {
 	live  bool
 }
 
-// Cache is a CLOCK-evicting prediction cache, safe for concurrent use.
-// Construct with New.
-type Cache struct {
+// shard is one independently locked CLOCK cache stripe. The trailing pad
+// spaces shards out to separate cache lines: without it, one shard's hot
+// hit/miss atomics share a line with its neighbor's mutex in the
+// contiguous shard array, and the resulting false sharing costs more than
+// the striping saves.
+type shard struct {
 	mu      sync.Mutex
 	slots   []slot
 	index   map[Key]int // key -> slot
 	hand    int
 	pending map[Key][]chan container.Prediction
 
-	hits   int64
-	misses int64
+	hits   atomic.Int64
+	misses atomic.Int64
+
+	_ [56]byte // pad to 128 bytes (two 64-byte lines)
 }
 
-// New returns a cache holding up to capacity predictions. Capacity below 1
-// is raised to 1.
+// minShardCapacity is the smallest per-shard CLOCK ring worth striping:
+// below it the eviction behavior of a stripe degenerates (a handful of
+// slots thrash), so small caches collapse to fewer shards — down to one,
+// which preserves the exact semantics of the historical single-mutex
+// cache for the capacities unit tests use.
+const minShardCapacity = 64
+
+// Cache is a lock-striped, CLOCK-evicting prediction cache, safe for
+// concurrent use. Construct with New or NewSharded.
+type Cache struct {
+	shards []shard
+	shift  uint // shard index = mix(QueryID) >> shift
+	cap    int
+}
+
+// New returns a cache holding up to capacity predictions across an
+// automatically sized set of shards (next power of two ≥ 4×GOMAXPROCS,
+// reduced so every shard keeps a useful CLOCK ring). Capacity below 1 is
+// raised to 1.
 func New(capacity int) *Cache {
+	return NewSharded(capacity, 0)
+}
+
+// NewSharded returns a cache holding up to capacity predictions split over
+// the given number of shards. shards is rounded up to a power of two;
+// shards <= 0 selects the automatic sizing used by New. Shard counts that
+// would leave a shard with fewer than minShardCapacity slots are reduced,
+// so NewSharded(n, 1) is always exactly a single-mutex cache (the baseline
+// the parallel benchmarks compare against).
+func NewSharded(capacity, shards int) *Cache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Cache{
-		slots:   make([]slot, capacity),
-		index:   make(map[Key]int, capacity),
-		pending: make(map[Key][]chan container.Prediction),
+	if shards <= 0 {
+		shards = 4 * runtime.GOMAXPROCS(0)
 	}
+	n := nextPow2(shards)
+	for n > 1 && capacity/n < minShardCapacity {
+		n >>= 1
+	}
+	c := &Cache{
+		shards: make([]shard, n),
+		shift:  uint(64 - log2(n)),
+		cap:    capacity,
+	}
+	// Per-shard capacities sum exactly to the configured total; the
+	// remainder goes to the leading shards one slot each.
+	base, rem := capacity/n, capacity%n
+	for i := range c.shards {
+		scap := base
+		if i < rem {
+			scap++
+		}
+		c.shards[i] = shard{
+			slots:   make([]slot, scap),
+			index:   make(map[Key]int, scap),
+			pending: make(map[Key][]chan container.Prediction),
+		}
+	}
+	return c
+}
+
+// nextPow2 returns the smallest power of two >= v (v >= 1).
+func nextPow2(v int) int {
+	return 1 << bits.Len(uint(v-1))
+}
+
+// log2 returns log2 of a power of two.
+func log2(v int) uint {
+	return uint(bits.TrailingZeros(uint(v)))
+}
+
+// shardFor routes a key to its shard. The QueryID is already a content
+// hash on the request path (HashQuery), so routing only applies a cheap
+// Fibonacci mix and takes the high bits — this keeps small or sequential
+// synthetic ids (as used by tests and ablations) spread across shards
+// without rehashing the feature vector.
+func (c *Cache) shardFor(key Key) *shard {
+	if len(c.shards) == 1 {
+		return &c.shards[0]
+	}
+	return &c.shards[(key.QueryID*0x9E3779B97F4A7C15)>>c.shift]
 }
 
 // Fetch returns the cached prediction for key, if present, marking the
 // entry recently used. This is the paper's non-blocking fetch.
 func (c *Cache) Fetch(key Key) (container.Prediction, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if i, ok := c.index[key]; ok {
-		c.slots[i].used = true
-		c.hits++
-		return c.slots[i].value, true
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if i, ok := s.index[key]; ok {
+		s.slots[i].used = true
+		v := s.slots[i].value
+		s.mu.Unlock()
+		s.hits.Add(1)
+		return v, true
 	}
-	c.misses++
+	s.mu.Unlock()
+	s.misses.Add(1)
 	return container.Prediction{}, false
 }
 
@@ -99,27 +190,31 @@ func (c *Cache) Fetch(key Key) (container.Prediction, bool) {
 // The channel is buffered and receives exactly one value (or is closed if
 // the leader Aborts).
 func (c *Cache) Request(key Key) (val container.Prediction, hit bool, leader bool, wait <-chan container.Prediction) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if i, ok := c.index[key]; ok {
-		c.slots[i].used = true
-		c.hits++
-		return c.slots[i].value, true, false, nil
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if i, ok := s.index[key]; ok {
+		s.slots[i].used = true
+		v := s.slots[i].value
+		s.mu.Unlock()
+		s.hits.Add(1)
+		return v, true, false, nil
 	}
-	c.misses++
 	ch := make(chan container.Prediction, 1)
-	waiters, inflight := c.pending[key]
-	c.pending[key] = append(waiters, ch)
+	waiters, inflight := s.pending[key]
+	s.pending[key] = append(waiters, ch)
+	s.mu.Unlock()
+	s.misses.Add(1)
 	return container.Prediction{}, false, !inflight, ch
 }
 
 // Put stores a prediction and wakes all waiters registered via Request.
 func (c *Cache) Put(key Key, value container.Prediction) {
-	c.mu.Lock()
-	c.insertLocked(key, value)
-	waiters := c.pending[key]
-	delete(c.pending, key)
-	c.mu.Unlock()
+	s := c.shardFor(key)
+	s.mu.Lock()
+	s.insertLocked(key, value)
+	waiters := s.pending[key]
+	delete(s.pending, key)
+	s.mu.Unlock()
 	for _, ch := range waiters {
 		ch <- value
 		close(ch)
@@ -130,59 +225,72 @@ func (c *Cache) Put(key Key, value container.Prediction) {
 // waiter channels without a value. The leader calls it when the model
 // evaluation fails.
 func (c *Cache) Abort(key Key) {
-	c.mu.Lock()
-	waiters := c.pending[key]
-	delete(c.pending, key)
-	c.mu.Unlock()
+	s := c.shardFor(key)
+	s.mu.Lock()
+	waiters := s.pending[key]
+	delete(s.pending, key)
+	s.mu.Unlock()
 	for _, ch := range waiters {
 		close(ch)
 	}
 }
 
-// insertLocked adds or refreshes an entry using CLOCK eviction.
-func (c *Cache) insertLocked(key Key, value container.Prediction) {
-	if i, ok := c.index[key]; ok {
-		c.slots[i].value = value
-		c.slots[i].used = true
+// insertLocked adds or refreshes an entry using CLOCK eviction within one
+// shard.
+func (s *shard) insertLocked(key Key, value container.Prediction) {
+	if i, ok := s.index[key]; ok {
+		s.slots[i].value = value
+		s.slots[i].used = true
 		return
 	}
 	// Advance the hand past recently used slots, clearing reference bits
 	// (the "second chance").
 	for {
-		s := &c.slots[c.hand]
-		if !s.live {
+		sl := &s.slots[s.hand]
+		if !sl.live {
 			break
 		}
-		if !s.used {
+		if !sl.used {
 			break
 		}
-		s.used = false
-		c.hand = (c.hand + 1) % len(c.slots)
+		sl.used = false
+		s.hand = (s.hand + 1) % len(s.slots)
 	}
-	s := &c.slots[c.hand]
-	if s.live {
-		delete(c.index, s.key)
+	sl := &s.slots[s.hand]
+	if sl.live {
+		delete(s.index, sl.key)
 	}
-	*s = slot{key: key, value: value, used: true, live: true}
-	c.index[key] = c.hand
-	c.hand = (c.hand + 1) % len(c.slots)
+	*sl = slot{key: key, value: value, used: true, live: true}
+	s.index[key] = s.hand
+	s.hand = (s.hand + 1) % len(s.slots)
 }
 
 // Len returns the number of live entries.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.index)
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.index)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Capacity returns the maximum number of entries.
-func (c *Cache) Capacity() int { return len(c.slots) }
+func (c *Cache) Capacity() int { return c.cap }
 
-// Stats returns cumulative hit and miss counts.
+// Shards returns the number of lock stripes.
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// Stats returns cumulative hit and miss counts, aggregated exactly across
+// shards.
 func (c *Cache) Stats() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	for i := range c.shards {
+		hits += c.shards[i].hits.Load()
+		misses += c.shards[i].misses.Load()
+	}
+	return hits, misses
 }
 
 // HitRate returns hits / (hits+misses), or 0 before any lookups.

@@ -2,7 +2,9 @@ package cache
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -273,6 +275,124 @@ func TestDistinctModelsDoNotCollide(t *testing.T) {
 	}
 }
 
+func TestShardCapacitySumsToTotal(t *testing.T) {
+	for _, tc := range []struct{ capacity, shards int }{
+		{1, 0}, {3, 0}, {100, 0}, {1 << 16, 0},
+		{1000, 4}, {1 << 12, 8}, {130, 2}, {1 << 16, 7},
+	} {
+		c := NewSharded(tc.capacity, tc.shards)
+		sum := 0
+		for i := range c.shards {
+			if len(c.shards[i].slots) == 0 {
+				t.Fatalf("cap=%d shards=%d: empty shard %d", tc.capacity, tc.shards, i)
+			}
+			sum += len(c.shards[i].slots)
+		}
+		if sum != tc.capacity || c.Capacity() != tc.capacity {
+			t.Fatalf("cap=%d shards=%d: slot sum=%d Capacity=%d",
+				tc.capacity, tc.shards, sum, c.Capacity())
+		}
+		if n := c.Shards(); n&(n-1) != 0 || n < 1 {
+			t.Fatalf("shard count %d not a power of two", n)
+		}
+	}
+	// Tiny caches must collapse to a single shard so CLOCK behaves exactly
+	// like the historical single-mutex cache.
+	if n := New(4).Shards(); n != 1 {
+		t.Fatalf("New(4).Shards() = %d, want 1", n)
+	}
+	if n := NewSharded(1<<16, 1).Shards(); n != 1 {
+		t.Fatalf("NewSharded(_, 1).Shards() = %d, want 1", n)
+	}
+}
+
+func TestKeysSpreadAcrossShards(t *testing.T) {
+	c := NewSharded(1<<12, 8)
+	if c.Shards() < 2 {
+		t.Skipf("want multiple shards, got %d", c.Shards())
+	}
+	// Both content-hashed and small sequential QueryIDs must spread.
+	for i := uint64(0); i < 256; i++ {
+		c.Put(key(i), pred(int(i)))
+		c.Put(key(HashQuery([]float64{float64(i)})), pred(int(i)))
+	}
+	occupied := 0
+	for i := range c.shards {
+		if len(c.shards[i].index) > 0 {
+			occupied++
+		}
+	}
+	if occupied < 2 {
+		t.Fatalf("all keys routed to %d shard(s) of %d", occupied, c.Shards())
+	}
+}
+
+// TestConcurrentShardedStress drives Request leader/follower single-flight,
+// Put wakeups, Abort, and Fetch across shards simultaneously. Run under
+// -race. It also proves Stats stays exact: every Fetch/Request increments
+// exactly one of hits/misses.
+func TestConcurrentShardedStress(t *testing.T) {
+	c := NewSharded(1<<12, 8)
+	if c.Shards() < 2 {
+		t.Fatalf("stress test needs multiple shards, got %d", c.Shards())
+	}
+	const (
+		goroutines = 16
+		iters      = 400
+		keySpace   = 64
+	)
+	var ops atomic.Int64 // total Fetch+Request calls issued
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			<-start
+			for i := 0; i < iters; i++ {
+				k := key(uint64(rng.Intn(keySpace)))
+				switch rng.Intn(3) {
+				case 0:
+					c.Fetch(k)
+					ops.Add(1)
+				case 1:
+					c.Put(k, pred(i))
+				default:
+					_, hit, leader, wait := c.Request(k)
+					ops.Add(1)
+					if hit {
+						continue
+					}
+					if leader {
+						if rng.Intn(8) == 0 {
+							c.Abort(k)
+						} else {
+							c.Put(k, pred(i))
+						}
+						continue
+					}
+					select {
+					case <-wait: // value or abort-close both release us
+					case <-time.After(5 * time.Second):
+						t.Error("follower starved: leader never Put/Abort")
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	h, m := c.Stats()
+	if h+m != ops.Load() {
+		t.Fatalf("Stats lost updates: hits=%d misses=%d, want sum %d", h, m, ops.Load())
+	}
+	if c.Len() > c.Capacity() {
+		t.Fatalf("Len %d exceeds capacity %d", c.Len(), c.Capacity())
+	}
+}
+
 func BenchmarkCachePutFetch(b *testing.B) {
 	c := New(4096)
 	b.ReportAllocs()
@@ -282,6 +402,38 @@ func BenchmarkCachePutFetch(b *testing.B) {
 			c.Put(k, pred(i))
 		}
 	}
+}
+
+// benchmarkCacheParallel runs the mixed Fetch/Put hot-path workload from
+// BenchmarkCachePutFetch concurrently across GOMAXPROCS goroutines.
+func benchmarkCacheParallel(b *testing.B, c *Cache) {
+	b.ReportAllocs()
+	var gid atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		// Per-goroutine key streams with overlapping ranges: mostly hits
+		// with steady insert pressure, like a Zipf-warmed serving cache.
+		i := gid.Add(1) * 1_000_003
+		for pb.Next() {
+			i++
+			k := key(i % 16384)
+			if _, ok := c.Fetch(k); !ok {
+				c.Put(k, pred(int(i)))
+			}
+		}
+	})
+}
+
+// BenchmarkCacheParallel compares the lock-striped cache against a
+// single-mutex baseline (NewSharded with one shard) under parallel load:
+//
+//	go test ./internal/cache/ -bench=CacheParallel -cpu=8
+func BenchmarkCacheParallel(b *testing.B) {
+	b.Run("sharded", func(b *testing.B) {
+		benchmarkCacheParallel(b, New(1<<16))
+	})
+	b.Run("single-mutex", func(b *testing.B) {
+		benchmarkCacheParallel(b, NewSharded(1<<16, 1))
+	})
 }
 
 func BenchmarkHashQuery784(b *testing.B) {

@@ -189,7 +189,10 @@ func (cl *Clipper) nextQueue(model string) (*batching.Queue, error) {
 	if len(rqs) == 0 {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, model)
 	}
-	i := int(cursor.Add(1))
+	// Reduce the free-running cursor modulo the replica count before
+	// converting to int: a plain int(cursor.Add(1)) goes negative once the
+	// counter passes MaxInt64 and would index out of range.
+	i := int(cursor.Add(1) % uint64(len(rqs)))
 	for probe := 0; probe < len(rqs); probe++ {
 		rq := rqs[(i+probe)%len(rqs)]
 		if rq.health.healthy.Load() {

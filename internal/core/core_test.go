@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -381,6 +382,31 @@ func TestReplicaRoundRobin(t *testing.T) {
 	}
 	if len(cl.ReplicaQueues("m")) != 2 {
 		t.Fatal("expected two replica queues")
+	}
+}
+
+func TestNextQueueCursorOverflow(t *testing.T) {
+	// Regression: the round-robin cursor is a free-running atomic.Uint64;
+	// int(cursor.Add(1)) turns negative once the counter passes MaxInt64,
+	// which used to index rqs out of range. Seed the cursor just below the
+	// overflow boundaries and drive it across.
+	cl := New(Config{CacheSize: -1})
+	defer cl.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Deploy(&stubModel{name: "m", label: 1}, nil, qcfg()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, seed := range []uint64{math.MaxInt64 - 2, math.MaxUint64 - 2} {
+		cl.mu.Lock()
+		cl.rr["m"].Store(seed)
+		cl.mu.Unlock()
+		for i := 0; i < 8; i++ {
+			q, err := cl.nextQueue("m")
+			if err != nil || q == nil {
+				t.Fatalf("nextQueue after cursor=%d+%d: queue=%v err=%v", seed, i, q, err)
+			}
+		}
 	}
 }
 

@@ -204,8 +204,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if c := s.clipper.Cache(); c != nil {
 		h, m := c.Stats()
-		fmt.Fprintf(w, "cache entries=%d/%d hits=%d misses=%d hit_rate=%.3f\n",
-			c.Len(), c.Capacity(), h, m, c.HitRate())
+		fmt.Fprintf(w, "cache entries=%d/%d shards=%d hits=%d misses=%d hit_rate=%.3f\n",
+			c.Len(), c.Capacity(), c.Shards(), h, m, c.HitRate())
 	}
 	models := s.clipper.Models()
 	sort.Strings(models)
