@@ -3,10 +3,12 @@
 //
 // Clipper interposes between applications and machine-learning models. Its
 // model abstraction layer provides a prediction cache, adaptive batching
-// tuned to a latency SLO, and a uniform batch-prediction RPC to model
-// containers; its model selection layer uses bandit algorithms (Exp3,
-// Exp4) over application feedback to select and combine models, estimate
-// confidence, mitigate stragglers, and personalize selection per context.
+// tuned to a latency SLO with pipelined dispatch (up to
+// QueueConfig.InFlight batches concurrently in flight per replica), and a
+// uniform batch-prediction RPC to model containers; its model selection
+// layer uses bandit algorithms (Exp3, Exp4) over application feedback to
+// select and combine models, estimate confidence, mitigate stragglers,
+// and personalize selection per context.
 //
 // # Quickstart
 //
@@ -169,7 +171,10 @@ func DialContainer(addr string, timeout time.Duration) (*container.Remote, error
 }
 
 // DefaultQueueConfig returns an adaptive AIMD queue tuned to the given
-// latency SLO — the deployment most users want.
+// latency SLO — the deployment most users want. The dispatch pipeline
+// window is left at its default (batching.DefaultInFlight concurrent
+// batches per replica); set QueueConfig.InFlight to 1 for the serial
+// one-batch-at-a-time dispatcher.
 func DefaultQueueConfig(slo time.Duration) QueueConfig {
 	return QueueConfig{Controller: NewAIMD(AIMDConfig{SLO: slo})}
 }

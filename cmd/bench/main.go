@@ -1,11 +1,13 @@
 // Command bench runs the paper-reproduction experiments and prints their
-// tables and series.
+// tables and series, or measures the serving hot paths and emits a JSON
+// perf report (the PR-over-PR performance trajectory).
 //
 // Usage:
 //
 //	bench -experiment all -scale quick
 //	bench -experiment fig4 -scale full
 //	bench -list
+//	bench -perf BENCH_PR2.json
 package main
 
 import (
@@ -13,8 +15,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"clipper/internal/experiments"
+	"clipper/internal/perf"
 )
 
 func main() {
@@ -22,12 +26,35 @@ func main() {
 		experiment = flag.String("experiment", "all", "experiment id (see -list) or 'all'")
 		scaleName  = flag.String("scale", "quick", "experiment fidelity: quick or full")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
+		perfOut    = flag.String("perf", "", "run the hot-path perf suite and write its JSON report to this path ('-' for stdout)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
+		}
+		return
+	}
+
+	if *perfOut != "" {
+		rep := perf.Run("pr2-dispatch-pipeline", 2*time.Second)
+		out := os.Stdout
+		if *perfOut != "-" {
+			f, err := os.Create(*perfOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := rep.WriteJSON(out); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, m := range rep.Measurements {
+			fmt.Fprintf(os.Stderr, "%-32s %12.1f %s\n", m.Name, m.Value, m.Unit)
 		}
 		return
 	}

@@ -58,6 +58,7 @@ func New(model container.Predictor, cfg Config) *TFServing {
 			Controller:   batching.NewFixed(cfg.BatchSize),
 			BatchTimeout: cfg.BatchTimeout,
 			Depth:        cfg.QueueDepth,
+			InFlight:     1, // TF Serving executes one batch at a time
 		}),
 		model:      model,
 		Latency:    metrics.NewHistogram(),

@@ -1,0 +1,16 @@
+package batching
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestQueueConcurrentClose(t *testing.T) {
+	q := NewQueue(&countingPredictor{}, QueueConfig{Controller: NewFixed(1)})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); q.Close() }()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,77 @@
+package batching
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"clipper/internal/container"
+)
+
+// latencyPredictor simulates a container with a fixed round-trip latency
+// (network + compute) that admits concurrent batches, like a real
+// container behind the multiplexing RPC client.
+type latencyPredictor struct {
+	latency time.Duration
+}
+
+func (p *latencyPredictor) Info() container.Info {
+	return container.Info{Name: "latency", Version: 1}
+}
+
+func (p *latencyPredictor) PredictBatch(xs [][]float64) ([]container.Prediction, error) {
+	time.Sleep(p.latency)
+	out := make([]container.Prediction, len(xs))
+	for i, x := range xs {
+		out[i] = container.Prediction{Label: int(x[0])}
+	}
+	return out, nil
+}
+
+// BenchmarkDispatchPipeline measures queue throughput against a simulated
+// 1ms-latency container with the dispatch pipeline window at 1 (the old
+// serial dispatcher) and 4 (the default). Single-query batches isolate the
+// dispatch overlap itself: at window 1 throughput is capped at one round
+// trip per batch; at window 4 the collector keeps four batches in flight
+// and throughput scales with the window.
+func BenchmarkDispatchPipeline(b *testing.B) {
+	for _, inFlight := range []int{1, 4} {
+		b.Run(fmt.Sprintf("InFlight%d", inFlight), func(b *testing.B) {
+			q := NewQueue(&latencyPredictor{latency: time.Millisecond}, QueueConfig{
+				Controller: NewFixed(1),
+				InFlight:   inFlight,
+			})
+			defer q.Close()
+
+			const submitters = 16
+			work := make(chan int, submitters)
+			var wg sync.WaitGroup
+			for s := 0; s < submitters; s++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					x := []float64{0}
+					for i := range work {
+						x[0] = float64(i)
+						if _, err := q.Submit(context.Background(), x); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+
+			start := time.Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				work <- i
+			}
+			close(work)
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "qps")
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"clipper/internal/container"
@@ -19,11 +20,16 @@ type Result struct {
 // request is one enqueued query awaiting batch dispatch.
 type request struct {
 	x    []float64
+	enq  time.Time // submit time, for per-request queue-delay telemetry
 	done chan Result
 }
 
 // ErrQueueClosed is returned for submissions to a closed queue.
 var ErrQueueClosed = errors.New("batching: queue closed")
+
+// DefaultInFlight is the dispatch pipeline window selected by
+// QueueConfig.InFlight = 0.
+const DefaultInFlight = 4
 
 // QueueConfig parameterizes a per-replica batching queue.
 type QueueConfig struct {
@@ -37,20 +43,42 @@ type QueueConfig struct {
 	// Depth is the queue's buffered capacity; submissions beyond it
 	// block. Zero selects 8192.
 	Depth int
+	// InFlight is the dispatch pipeline window: the maximum number of
+	// batches concurrently in flight to the replica. While one batch is
+	// inside the container RPC the collector keeps assembling and
+	// dispatching more, overlapping serialization, network, and compute
+	// (the rpc.Client already multiplexes requests over one connection).
+	// Zero selects DefaultInFlight; 1 reproduces the serial
+	// one-batch-at-a-time dispatcher.
+	InFlight int
 }
 
 // Queue is the adaptive batching queue for one model-container replica
-// (paper §4.3): queries accumulate here and a dedicated dispatcher
-// goroutine drains them in controller-sized batches, one in-flight batch
-// at a time, feeding latency observations back to the controller.
+// (paper §4.3). Queries accumulate here and a dispatch pipeline drains
+// them: a collector goroutine assembles controller-sized batches and hands
+// each to a worker goroutine, keeping up to InFlight batches in the
+// container at once so the replica stays saturated instead of idling for
+// one round trip per batch. Every dispatched batch feeds its (size,
+// latency) observation back to the controller.
 type Queue struct {
 	pred    container.Predictor
 	ctrl    Controller
 	timeout time.Duration
 
-	in   chan *request
-	stop chan struct{}
-	done chan struct{}
+	in       chan *request
+	stop     chan struct{}
+	done     chan struct{}
+	inflight chan struct{} // pipeline window semaphore
+	wg       sync.WaitGroup
+
+	// submitMu fences submission against Close: submitters hold it (read
+	// side) across the send into q.in, and Close acquires it exclusively
+	// after closing stop, so by the time Close's final drain runs, every
+	// racing send has either committed (and will be drained) or observed
+	// stop and failed. Without the fence a send can commit after the
+	// dispatcher's own drain, leaving that caller waiting forever.
+	submitMu sync.RWMutex
+	stopOnce sync.Once
 
 	// Latency and batch-size telemetry for the experiments.
 	BatchLatency *metrics.Histogram
@@ -68,6 +96,10 @@ func NewQueue(pred container.Predictor, cfg QueueConfig) *Queue {
 	if depth <= 0 {
 		depth = 8192
 	}
+	window := cfg.InFlight
+	if window <= 0 {
+		window = DefaultInFlight
+	}
 	q := &Queue{
 		pred:         pred,
 		ctrl:         cfg.Controller,
@@ -75,6 +107,7 @@ func NewQueue(pred container.Predictor, cfg QueueConfig) *Queue {
 		in:           make(chan *request, depth),
 		stop:         make(chan struct{}),
 		done:         make(chan struct{}),
+		inflight:     make(chan struct{}, window),
 		BatchLatency: metrics.NewHistogram(),
 		BatchSizes:   metrics.NewHistogram(),
 		QueueDelay:   metrics.NewHistogram(),
@@ -86,6 +119,9 @@ func NewQueue(pred container.Predictor, cfg QueueConfig) *Queue {
 
 // Controller returns the queue's batch-size controller.
 func (q *Queue) Controller() Controller { return q.ctrl }
+
+// InFlight returns the queue's dispatch pipeline window.
+func (q *Queue) InFlight() int { return cap(q.inflight) }
 
 // Submit enqueues x and blocks until its prediction is rendered, the
 // context is cancelled, or the queue closes.
@@ -108,7 +144,9 @@ func (q *Queue) Submit(ctx context.Context, x []float64) (container.Prediction, 
 // SubmitAsync enqueues x and returns a channel that will receive exactly
 // one Result (or be closed if the queue shuts down first).
 func (q *Queue) SubmitAsync(ctx context.Context, x []float64) (<-chan Result, error) {
-	req := &request{x: x, done: make(chan Result, 1)}
+	req := &request{x: x, enq: time.Now(), done: make(chan Result, 1)}
+	q.submitMu.RLock()
+	defer q.submitMu.RUnlock()
 	select {
 	case <-q.stop:
 		return nil, ErrQueueClosed
@@ -124,62 +162,107 @@ func (q *Queue) SubmitAsync(ctx context.Context, x []float64) (<-chan Result, er
 	}
 }
 
-// Close stops the dispatcher. Queued requests receive ErrQueueClosed.
+// Close stops the dispatcher, waits for in-flight batches to deliver, and
+// fails queued requests with ErrQueueClosed.
 func (q *Queue) Close() {
-	select {
-	case <-q.stop:
-		return
-	default:
-		close(q.stop)
-	}
+	q.stopOnce.Do(func() { close(q.stop) })
+	// Wait out submitters racing the close: stop is closed, so blocked
+	// senders exit promptly, and any send that already committed is in
+	// q.in by the time we hold the write lock.
+	q.submitMu.Lock()
+	q.submitMu.Unlock() // the empty critical section is the fence
 	<-q.done
+	// The dispatcher drained what it saw before exiting; catch requests
+	// whose send committed after that drain.
+	q.drainClosed()
 }
 
+// dispatchLoop is the pipeline's collector stage: it assembles batches and
+// hands each to its own worker goroutine, bounded by the in-flight window.
 func (q *Queue) dispatchLoop() {
 	defer close(q.done)
 	for {
+		// Reserve a pipeline slot before collecting: while the window is
+		// full, requests keep buffering (and the eventual batch keeps
+		// growing toward the controller's cap) instead of being frozen
+		// into an early, undersized batch. Workers always release their
+		// slot, so this unblocks as soon as the oldest in-flight batch
+		// completes. At InFlight=1 this is exactly the serial dispatcher:
+		// collection for batch n+1 cannot begin until batch n returns.
+		select {
+		case q.inflight <- struct{}{}:
+		case <-q.stop:
+			q.drainClosed()
+			q.wg.Wait() // in-flight batches still deliver their results
+			return
+		}
+
 		// Block for the first query of the next batch.
 		var first *request
 		select {
 		case first = <-q.in:
 		case <-q.stop:
+			<-q.inflight
 			q.drainClosed()
+			q.wg.Wait() // in-flight batches still deliver their results
 			return
 		}
-		arrival := time.Now()
 		batch := q.collect(first)
-
-		xs := make([][]float64, len(batch))
-		for i, r := range batch {
-			xs[i] = r.x
+		if cap(q.inflight) == 1 {
+			// Serial window: the collector holds the only slot, so run the
+			// batch inline instead of paying a goroutine spawn per batch —
+			// this is exactly the paper's one-batch-at-a-time dispatcher.
+			q.runBatch(batch)
+			<-q.inflight
+			continue
 		}
-		q.QueueDelay.ObserveDuration(time.Since(arrival))
-		start := time.Now()
-		preds, err := q.predictBatch(xs)
-		lat := time.Since(start)
-		q.ctrl.Observe(len(batch), lat)
-		q.BatchLatency.ObserveDuration(lat)
-		q.BatchSizes.Observe(float64(len(batch)))
-		q.Throughput.Mark(int64(len(batch)))
+		q.wg.Add(1)
+		go func() {
+			defer q.wg.Done()
+			defer func() { <-q.inflight }()
+			q.runBatch(batch)
+		}()
+	}
+}
 
-		if err == nil {
-			if verr := container.Validate(preds, len(xs)); verr != nil {
-				err = verr
-			}
+// runBatch is one pipeline stage execution: it serializes, invokes the
+// container, feeds the controller, and delivers exactly one Result per
+// request.
+func (q *Queue) runBatch(batch []*request) {
+	dispatch := time.Now()
+	xs := make([][]float64, len(batch))
+	for i, r := range batch {
+		xs[i] = r.x
+		// Time-in-queue per request: submit to dispatch. (Not batch-collect
+		// time — a request that waited buffered behind earlier batches has
+		// been queued far longer than the collect window.)
+		q.QueueDelay.ObserveDuration(dispatch.Sub(r.enq))
+	}
+	start := time.Now()
+	preds, err := q.predictBatch(xs)
+	lat := time.Since(start)
+	q.ctrl.Observe(len(batch), lat)
+	q.BatchLatency.ObserveDuration(lat)
+	q.BatchSizes.Observe(float64(len(batch)))
+	q.Throughput.Mark(int64(len(batch)))
+
+	if err == nil {
+		if verr := container.Validate(preds, len(xs)); verr != nil {
+			err = verr
 		}
-		for i, r := range batch {
-			if err != nil {
-				r.done <- Result{Err: err}
-			} else {
-				r.done <- Result{Pred: preds[i]}
-			}
+	}
+	for i, r := range batch {
+		if err != nil {
+			r.done <- Result{Err: err}
+		} else {
+			r.done <- Result{Pred: preds[i]}
 		}
 	}
 }
 
 // predictBatch invokes the container, converting panics into errors: a
-// misbehaving model must fail its batch, not kill the dispatcher and hang
-// every future caller (the isolation §4.4 promises).
+// misbehaving model must fail its batch, not kill its pipeline worker and
+// hang every caller in the batch (the isolation §4.4 promises).
 func (q *Queue) predictBatch(xs [][]float64) (preds []container.Prediction, err error) {
 	defer func() {
 		if r := recover(); r != nil {

@@ -60,6 +60,16 @@ func (r *Remote) PredictBatch(xs [][]float64) ([]Prediction, error) {
 	return r.PredictBatchContext(context.Background(), xs)
 }
 
+// encBufPool recycles batch-encoding buffers across RPCs: the request
+// payload is fully written before Call returns, so the buffer is safe to
+// reuse immediately after.
+var encBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
 // PredictBatchContext is PredictBatch with caller-controlled cancellation.
 func (r *Remote) PredictBatchContext(ctx context.Context, xs [][]float64) ([]Prediction, error) {
 	r.mu.Lock()
@@ -68,7 +78,11 @@ func (r *Remote) PredictBatchContext(ctx context.Context, xs [][]float64) ([]Pre
 	if closed {
 		return nil, ErrContainerClosed
 	}
-	raw, err := r.client.Call(ctx, rpc.MethodPredict, EncodeBatch(xs))
+	buf := encBufPool.Get().(*[]byte)
+	payload := AppendBatch((*buf)[:0], xs)
+	raw, err := r.client.Call(ctx, rpc.MethodPredict, payload)
+	*buf = payload[:0]
+	encBufPool.Put(buf)
 	if err != nil {
 		return nil, err
 	}

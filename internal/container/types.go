@@ -45,9 +45,9 @@ func (i Info) String() string { return fmt.Sprintf("%s:v%d", i.Name, i.Version) 
 //
 //	interface Predictor<X,Y> { List<List<Y>> pred_batch(List<X> inputs); }
 //
-// Implementations must be safe for concurrent use; Clipper issues one
-// in-flight batch per replica but tests and multi-tenant deployments may
-// not.
+// Implementations must be safe for concurrent use: the batching queue's
+// dispatch pipeline keeps up to QueueConfig.InFlight batches (default 4)
+// concurrently in flight per replica.
 type Predictor interface {
 	// Info returns the model's identity and shape.
 	Info() Info

@@ -16,47 +16,74 @@ import (
 //
 // Layout: u32 rows, then per row: u32 len, f64 × len.
 func EncodeBatch(xs [][]float64) []byte {
-	size := 4
+	return AppendBatch(nil, xs)
+}
+
+// AppendBatch appends the EncodeBatch serialization of xs to dst and
+// returns the extended slice. Callers on the hot path reuse dst across
+// batches (e.g. from a sync.Pool) so steady-state encoding allocates
+// nothing.
+func AppendBatch(dst []byte, xs [][]float64) []byte {
+	need := 4
 	for _, x := range xs {
-		size += 4 + 8*len(x)
+		need += 4 + 8*len(x)
 	}
-	buf := make([]byte, size)
-	off := 0
-	binary.LittleEndian.PutUint32(buf[off:], uint32(len(xs)))
+	off := len(dst)
+	if cap(dst)-off < need {
+		grown := make([]byte, off, off+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:off+need]
+	binary.LittleEndian.PutUint32(dst[off:], uint32(len(xs)))
 	off += 4
 	for _, x := range xs {
-		binary.LittleEndian.PutUint32(buf[off:], uint32(len(x)))
+		binary.LittleEndian.PutUint32(dst[off:], uint32(len(x)))
 		off += 4
 		for _, v := range x {
-			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+			binary.LittleEndian.PutUint64(dst[off:], math.Float64bits(v))
 			off += 8
 		}
 	}
-	return buf
+	return dst
 }
 
-// DecodeBatch reverses EncodeBatch.
+// DecodeBatch reverses EncodeBatch. All rows share one backing array, so
+// decoding a batch costs two allocations regardless of row count.
 func DecodeBatch(buf []byte) ([][]float64, error) {
 	rows, off, err := readU32(buf, 0)
 	if err != nil {
 		return nil, err
 	}
-	xs := make([][]float64, 0, min(int(rows), 1<<20))
+	// First pass: walk the row headers to validate the layout and size the
+	// shared backing array before allocating anything (a hostile row count
+	// fails here, since every row consumes at least its length prefix).
+	total := 0
+	scan := off
 	for r := uint32(0); r < rows; r++ {
 		var n uint32
-		n, off, err = readU32(buf, off)
+		n, scan, err = readU32(buf, scan)
 		if err != nil {
 			return nil, err
 		}
-		if int(n)*8 > len(buf)-off {
+		if int(n)*8 > len(buf)-scan {
 			return nil, fmt.Errorf("container: row %d truncated", r)
 		}
-		row := make([]float64, n)
+		total += int(n)
+		scan += int(n) * 8
+	}
+	xs := make([][]float64, rows)
+	backing := make([]float64, total)
+	for r := range xs {
+		var n uint32
+		n, off, _ = readU32(buf, off)
+		row := backing[:n:n]
+		backing = backing[n:]
 		for i := range row {
 			row[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
 			off += 8
 		}
-		xs = append(xs, row)
+		xs[r] = row
 	}
 	return xs, nil
 }
@@ -87,35 +114,53 @@ func EncodePredictions(preds []Prediction) []byte {
 	return buf
 }
 
-// DecodePredictions reverses EncodePredictions.
+// DecodePredictions reverses EncodePredictions. All score vectors share
+// one backing array, so decoding costs two allocations regardless of
+// batch size.
 func DecodePredictions(buf []byte) ([]Prediction, error) {
 	count, off, err := readU32(buf, 0)
 	if err != nil {
 		return nil, err
 	}
-	preds := make([]Prediction, 0, min(int(count), 1<<20))
+	// First pass: validate the layout and size the shared score backing
+	// array before allocating (see DecodeBatch).
+	total := 0
+	scan := off
 	for i := uint32(0); i < count; i++ {
+		var scoreLen uint32
+		_, scan, err = readU32(buf, scan)
+		if err != nil {
+			return nil, err
+		}
+		scoreLen, scan, err = readU32(buf, scan)
+		if err != nil {
+			return nil, err
+		}
+		if int(scoreLen)*8 > len(buf)-scan {
+			return nil, fmt.Errorf("container: prediction %d scores truncated", i)
+		}
+		total += int(scoreLen)
+		scan += int(scoreLen) * 8
+	}
+	preds := make([]Prediction, count)
+	var backing []float64
+	if total > 0 {
+		backing = make([]float64, total)
+	}
+	for i := range preds {
 		var label, scoreLen uint32
-		label, off, err = readU32(buf, off)
-		if err != nil {
-			return nil, err
-		}
-		scoreLen, off, err = readU32(buf, off)
-		if err != nil {
-			return nil, err
-		}
-		p := Prediction{Label: int(int32(label))}
+		label, off, _ = readU32(buf, off)
+		scoreLen, off, _ = readU32(buf, off)
+		preds[i].Label = int(int32(label))
 		if scoreLen > 0 {
-			if int(scoreLen)*8 > len(buf)-off {
-				return nil, fmt.Errorf("container: prediction %d scores truncated", i)
-			}
-			p.Scores = make([]float64, scoreLen)
-			for j := range p.Scores {
-				p.Scores[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			scores := backing[:scoreLen:scoreLen]
+			backing = backing[scoreLen:]
+			for j := range scores {
+				scores[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
 				off += 8
 			}
+			preds[i].Scores = scores
 		}
-		preds = append(preds, p)
 	}
 	return preds, nil
 }
@@ -158,11 +203,4 @@ func readU32(buf []byte, off int) (uint32, int, error) {
 		return 0, 0, fmt.Errorf("container: buffer truncated at offset %d", off)
 	}
 	return binary.LittleEndian.Uint32(buf[off:]), off + 4, nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,78 @@
+package container
+
+import (
+	"testing"
+)
+
+func benchRows(rows, dim int) [][]float64 {
+	xs := make([][]float64, rows)
+	for i := range xs {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = float64(i*dim + j)
+		}
+		xs[i] = x
+	}
+	return xs
+}
+
+func benchPreds(n, scores int) []Prediction {
+	preds := make([]Prediction, n)
+	for i := range preds {
+		s := make([]float64, scores)
+		for j := range s {
+			s[j] = float64(j) / float64(scores)
+		}
+		preds[i] = Prediction{Label: i, Scores: s}
+	}
+	return preds
+}
+
+// BenchmarkEncodeBatch measures the one-shot encoder (one allocation per
+// batch).
+func BenchmarkEncodeBatch(b *testing.B) {
+	xs := benchRows(64, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeBatch(xs)
+	}
+}
+
+// BenchmarkAppendBatch measures the hot-path encoder reusing one buffer
+// (zero allocations in steady state, as Remote's pooled path does).
+func BenchmarkAppendBatch(b *testing.B) {
+	xs := benchRows(64, 128)
+	buf := AppendBatch(nil, xs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendBatch(buf[:0], xs)
+	}
+}
+
+// BenchmarkDecodeBatch measures batch decoding; all rows share one backing
+// array, so this is two allocations per batch regardless of row count.
+func BenchmarkDecodeBatch(b *testing.B) {
+	buf := EncodeBatch(benchRows(64, 128))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeBatch(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodePredictions measures prediction decoding; all score
+// vectors share one backing array.
+func BenchmarkDecodePredictions(b *testing.B) {
+	buf := EncodePredictions(benchPreds(64, 10))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodePredictions(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -245,33 +245,80 @@ func (a *Application) FeedbackContext(ctx context.Context, contextID string, x [
 	return nil
 }
 
+// pendingFetch is one selected model whose prediction could not be
+// resolved synchronously from the cache: either this goroutine holds the
+// single-flight leadership for the key (leader), must wait for another
+// leader's in-flight fetch (wait), or caching is disabled (cached=false).
+type pendingFetch struct {
+	idx    int
+	model  string
+	key    cache.Key
+	leader bool
+	wait   <-chan container.Prediction
+	cached bool
+}
+
 // gather fans the query out to the selected models and collects whatever
 // predictions arrive before the deadline. The result is indexed by policy
 // model index; unselected and straggling models are nil. deadline 0 waits
 // for every selected model (subject to ctx).
+//
+// A synchronous cache pass runs first, so the common cache-hit path
+// resolves every model inline: no goroutine, no channel, no timer. Only
+// misses and single-flight followers go async — and a lone miss with no
+// straggler deadline completes inline too.
 func (a *Application) gather(ctx context.Context, indices []int, x []float64, deadline time.Duration) []*container.Prediction {
-	type arrival struct {
-		index int
-		pred  container.Prediction
-		ok    bool
-	}
 	preds := make([]*container.Prediction, len(a.cfg.Models))
 	if len(indices) == 0 {
 		return preds
 	}
-	arrivals := make(chan arrival, len(indices))
-	expected := 0
-
+	cl := a.cl
+	var qid uint64
+	if cl.cache != nil {
+		qid = cache.HashQuery(x) // hash depends only on x: once per query, not per model
+	}
+	var pending []pendingFetch
 	for _, idx := range indices {
 		if idx < 0 || idx >= len(a.cfg.Models) {
 			continue
 		}
 		model := a.cfg.Models[idx]
-		expected++
-		go func(idx int, model string) {
-			p, ok := a.predictOne(ctx, model, x)
-			arrivals <- arrival{index: idx, pred: p, ok: ok}
-		}(idx, model)
+		if cl.cache == nil {
+			pending = append(pending, pendingFetch{idx: idx, model: model})
+			continue
+		}
+		key := cache.Key{Model: model, Version: cl.modelVersion(model), QueryID: qid}
+		val, hit, leader, wait := cl.cache.Request(key)
+		if hit {
+			v := val
+			preds[idx] = &v
+			continue
+		}
+		pending = append(pending, pendingFetch{
+			idx: idx, model: model, key: key, leader: leader, wait: wait, cached: true,
+		})
+	}
+	if len(pending) == 0 {
+		return preds
+	}
+	if len(pending) == 1 && deadline <= 0 {
+		if p, ok := a.completeFetch(ctx, x, pending[0]); ok {
+			preds[pending[0].idx] = &p
+		}
+		return preds
+	}
+
+	type arrival struct {
+		index int
+		pred  container.Prediction
+		ok    bool
+	}
+	arrivals := make(chan arrival, len(pending))
+	for _, f := range pending {
+		go func(f pendingFetch) {
+			p, ok := a.completeFetch(ctx, x, f)
+			arrivals <- arrival{index: f.idx, pred: p, ok: ok}
+		}(f)
 	}
 
 	var timeout <-chan time.Time
@@ -280,7 +327,7 @@ func (a *Application) gather(ctx context.Context, indices []int, x []float64, de
 		defer t.Stop()
 		timeout = t.C
 	}
-	for received := 0; received < expected; received++ {
+	for received := 0; received < len(pending); received++ {
 		select {
 		case arr := <-arrivals:
 			if arr.ok {
@@ -299,39 +346,42 @@ func (a *Application) gather(ctx context.Context, indices []int, x []float64, de
 	return preds
 }
 
-// predictOne renders one model's prediction for x through the cache and
-// the model's batching queue.
-func (a *Application) predictOne(ctx context.Context, model string, x []float64) (container.Prediction, bool) {
+// completeFetch renders one model's prediction for x through its batching
+// queue, completing (or aborting) the single-flight cache claim made by
+// gather's synchronous pass.
+func (a *Application) completeFetch(ctx context.Context, x []float64, f pendingFetch) (container.Prediction, bool) {
 	cl := a.cl
-	if cl.cache == nil {
-		q, err := cl.nextQueue(model)
+	if !f.cached {
+		q, err := cl.nextQueue(f.model)
 		if err != nil {
 			return container.Prediction{}, false
 		}
 		p, err := q.Submit(ctx, x)
 		return p, err == nil
 	}
-	key := cache.Key{Model: model, Version: cl.modelVersion(model), QueryID: cache.HashQuery(x)}
-	val, hit, leader, wait := cl.cache.Request(key)
-	if hit {
-		return val, true
-	}
-	if leader {
-		q, err := cl.nextQueue(model)
+	if f.leader {
+		q, err := cl.nextQueue(f.model)
 		if err != nil {
-			cl.cache.Abort(key)
+			cl.cache.Abort(f.key)
 			return container.Prediction{}, false
 		}
 		p, err := q.Submit(ctx, x)
 		if err != nil {
-			cl.cache.Abort(key)
+			cl.cache.Abort(f.key)
 			return container.Prediction{}, false
 		}
-		cl.cache.Put(key, p)
+		// Cache a private copy of the scores: predictions decoded from a
+		// container RPC share one batch-wide backing array, and a cached
+		// entry must not pin the whole batch's scores for its lifetime.
+		stored := p
+		if len(p.Scores) > 0 {
+			stored.Scores = append([]float64(nil), p.Scores...)
+		}
+		cl.cache.Put(f.key, stored)
 		return p, true
 	}
 	select {
-	case p, ok := <-wait:
+	case p, ok := <-f.wait:
 		return p, ok
 	case <-ctx.Done():
 		return container.Prediction{}, false

@@ -116,6 +116,7 @@ func runClipperVariant(profile frameworks.Profile, dim, batch int, pyPerItem tim
 	if _, err := cl.Deploy(remote, nil, batching.QueueConfig{
 		Controller:   batching.NewFixed(batch),
 		BatchTimeout: 5 * time.Millisecond,
+		InFlight:     1, // paper-faithful serial dispatch (see fig4)
 	}); err != nil {
 		return 0, 0, err
 	}

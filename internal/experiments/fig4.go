@@ -71,7 +71,10 @@ func RunFig4(scale Scale) (Result, error) {
 // window only.
 func driveQueue(profile frameworks.Profile, ctrl batching.Controller, batchTimeout time.Duration, workers int, warm, measure time.Duration) (float64, float64, error) {
 	pred := frameworks.NewSimPredictor(models.NewNoOp(profile.Name, 10, 0), profile, 0, 99)
-	q := batching.NewQueue(pred, batching.QueueConfig{Controller: ctrl, BatchTimeout: batchTimeout})
+	// InFlight 1 keeps the paper's serial one-batch-at-a-time dispatcher:
+	// the figure compares batch-sizing strategies, and pipelined dispatch
+	// would flatten the no-batching baseline it is measured against.
+	q := batching.NewQueue(pred, batching.QueueConfig{Controller: ctrl, BatchTimeout: batchTimeout, InFlight: 1})
 	defer q.Close()
 
 	lat := metrics.NewHistogram()

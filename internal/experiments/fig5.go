@@ -64,6 +64,7 @@ func driveOpenLoop(profile frameworks.Profile, batchTimeout time.Duration, rate 
 	q := batching.NewQueue(pred, batching.QueueConfig{
 		Controller:   batching.NewFixed(512),
 		BatchTimeout: batchTimeout,
+		InFlight:     1, // paper-faithful serial dispatch (see fig4)
 	})
 	defer q.Close()
 

@@ -93,6 +93,7 @@ func runReplicaScaling(n int, gbps float64, dim, workers int, warm, measure time
 		if _, err := cl.Deploy(deployed, nil, batching.QueueConfig{
 			Controller:   batching.NewFixed(16), // GPU static batch
 			BatchTimeout: 500 * time.Microsecond,
+			InFlight:     1, // paper-faithful serial dispatch: the figure measures replica scaling, not pipelining
 		}); err != nil {
 			return 0, 0, 0, err
 		}

@@ -1,0 +1,186 @@
+// Package perf measures the serving hot paths this repo optimizes PR over
+// PR — currently the batching dispatch pipeline and the RPC/codec
+// allocation profile — and renders the results as a JSON report
+// (BENCH_PR2.json and successors) so the performance trajectory is
+// recorded alongside the code. cmd/bench -perf drives it; the same
+// quantities are covered by `go test -bench` benchmarks in their home
+// packages.
+package perf
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"clipper/internal/batching"
+	"clipper/internal/container"
+	"clipper/internal/rpc"
+)
+
+// Measurement is one named scalar result.
+type Measurement struct {
+	Name  string  `json:"name"`
+	Unit  string  `json:"unit"`
+	Value float64 `json:"value"`
+}
+
+// Report is a perf run's full output.
+type Report struct {
+	ID           string        `json:"id"`
+	GoVersion    string        `json:"go_version"`
+	GOMAXPROCS   int           `json:"gomaxprocs"`
+	Measurements []Measurement `json:"measurements"`
+}
+
+// WriteJSON renders the report, indented, to w.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// latencyPredictor simulates a container with a fixed round-trip latency
+// that admits concurrent batches (mirroring the multiplexing RPC client).
+type latencyPredictor struct {
+	latency time.Duration
+}
+
+func (p *latencyPredictor) Info() container.Info {
+	return container.Info{Name: "latency", Version: 1}
+}
+
+func (p *latencyPredictor) PredictBatch(xs [][]float64) ([]container.Prediction, error) {
+	time.Sleep(p.latency)
+	out := make([]container.Prediction, len(xs))
+	for i, x := range xs {
+		out[i] = container.Prediction{Label: int(x[0])}
+	}
+	return out, nil
+}
+
+// DispatchPipelineQPS drives a batching queue over a simulated
+// 1ms-latency container with the given pipeline window for roughly dur
+// and returns the completed queries per second.
+func DispatchPipelineQPS(inFlight int, dur time.Duration) float64 {
+	q := batching.NewQueue(&latencyPredictor{latency: time.Millisecond}, batching.QueueConfig{
+		Controller: batching.NewFixed(1),
+		InFlight:   inFlight,
+	})
+	defer q.Close()
+
+	const submitters = 16
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var completed int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			x := []float64{float64(s)}
+			n := int64(0)
+			for ctx.Err() == nil {
+				if _, err := q.Submit(ctx, x); err != nil {
+					break
+				}
+				n++
+			}
+			mu.Lock()
+			completed += n
+			mu.Unlock()
+		}(s)
+	}
+	start := time.Now()
+	time.Sleep(dur)
+	cancel()
+	wg.Wait()
+	elapsed := time.Since(start)
+	return float64(completed) / elapsed.Seconds()
+}
+
+// FrameWriteAllocs returns allocations per rpc.WriteFrame of a frame with
+// the given payload size.
+func FrameWriteAllocs(payloadSize int) float64 {
+	f := &rpc.Frame{ID: 1, Type: rpc.MsgRequest, Method: rpc.MethodPredict, Payload: make([]byte, payloadSize)}
+	return testing.AllocsPerRun(1000, func() {
+		if err := rpc.WriteFrame(io.Discard, f); err != nil {
+			panic(err)
+		}
+	})
+}
+
+func benchRows(rows, dim int) [][]float64 {
+	xs := make([][]float64, rows)
+	for i := range xs {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = float64(i*dim + j)
+		}
+		xs[i] = x
+	}
+	return xs
+}
+
+// DecodeBatchAllocs returns allocations per container.DecodeBatch of a
+// rows×dim batch.
+func DecodeBatchAllocs(rows, dim int) float64 {
+	buf := container.EncodeBatch(benchRows(rows, dim))
+	return testing.AllocsPerRun(200, func() {
+		if _, err := container.DecodeBatch(buf); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// DecodePredictionsAllocs returns allocations per
+// container.DecodePredictions of n predictions with the given score width.
+func DecodePredictionsAllocs(n, scores int) float64 {
+	preds := make([]container.Prediction, n)
+	for i := range preds {
+		preds[i] = container.Prediction{Label: i, Scores: make([]float64, scores)}
+	}
+	buf := container.EncodePredictions(preds)
+	return testing.AllocsPerRun(200, func() {
+		if _, err := container.DecodePredictions(buf); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// AppendBatchAllocs returns steady-state allocations per
+// container.AppendBatch into a reused buffer.
+func AppendBatchAllocs(rows, dim int) float64 {
+	xs := benchRows(rows, dim)
+	buf := container.AppendBatch(nil, xs)
+	return testing.AllocsPerRun(200, func() {
+		buf = container.AppendBatch(buf[:0], xs)
+	})
+}
+
+// Run executes the full perf suite. dur bounds each throughput
+// measurement's duration.
+func Run(id string, dur time.Duration) Report {
+	rep := Report{
+		ID:         id,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	qps1 := DispatchPipelineQPS(1, dur)
+	qps4 := DispatchPipelineQPS(4, dur)
+	rep.Measurements = append(rep.Measurements,
+		Measurement{Name: "dispatch_pipeline_inflight1", Unit: "qps", Value: qps1},
+		Measurement{Name: "dispatch_pipeline_inflight4", Unit: "qps", Value: qps4},
+		Measurement{Name: "dispatch_pipeline_speedup", Unit: "x", Value: qps4 / qps1},
+		Measurement{Name: "write_frame_inline_256B", Unit: "allocs/op", Value: FrameWriteAllocs(256)},
+		Measurement{Name: "write_frame_writev_64KB", Unit: "allocs/op", Value: FrameWriteAllocs(64 << 10)},
+		Measurement{Name: "decode_batch_64x128", Unit: "allocs/op", Value: DecodeBatchAllocs(64, 128)},
+		Measurement{Name: "decode_predictions_64x10", Unit: "allocs/op", Value: DecodePredictionsAllocs(64, 10)},
+		Measurement{Name: "append_batch_reused_64x128", Unit: "allocs/op", Value: AppendBatchAllocs(64, 128)},
+	)
+	return rep
+}

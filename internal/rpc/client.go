@@ -154,6 +154,12 @@ func (c *Client) Ping(ctx context.Context) error {
 	err := WriteFrame(c.conn, &Frame{ID: id, Type: MsgPing})
 	c.writeMu.Unlock()
 	if err != nil {
+		// Release the correlation entry, as Call does on this path: a
+		// failed write gets no reply, and leaking the entry would grow
+		// pending forever on a flapping connection.
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
 		return err
 	}
 	select {

@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
+	"sync"
 )
 
 // MsgType distinguishes frame kinds.
@@ -56,19 +58,52 @@ const headerLen = 14
 // ErrFrameTooLarge is returned when a frame exceeds MaxFrameSize.
 var ErrFrameTooLarge = errors.New("rpc: frame exceeds maximum size")
 
-// WriteFrame serializes f to w. It performs a single Write call so that
-// concurrent writers guarded by a mutex cannot interleave frames.
+// inlineFrameMax is the largest frame (header + payload) that WriteFrame
+// copies into one pooled buffer for a single Write. Larger payloads go out
+// via net.Buffers (writev on TCP) without copying at all.
+const inlineFrameMax = 4096
+
+// framePool recycles write buffers so the frame hot path allocates
+// nothing: small frames borrow a full inline buffer, large frames borrow
+// it for the 14-byte header of their writev pair.
+var framePool = sync.Pool{
+	New: func() any { return &frameBuf{} },
+}
+
+type frameBuf struct {
+	b    [inlineFrameMax]byte
+	vecs net.Buffers // scratch iovec for the writev path
+}
+
+// WriteFrame serializes f to w without allocating or copying large
+// payloads. Frames up to inlineFrameMax are sent as one Write from a
+// pooled buffer; larger frames are sent as a (header, payload) pair via
+// net.Buffers, which collapses to a single writev on net.Conn. Callers
+// serializing concurrent writers with a mutex therefore still cannot
+// interleave frames: both paths complete under one WriteFrame call.
 func WriteFrame(w io.Writer, f *Frame) error {
 	if len(f.Payload) > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	buf := make([]byte, headerLen+len(f.Payload))
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(10+len(f.Payload)))
-	binary.LittleEndian.PutUint64(buf[4:12], f.ID)
-	buf[12] = byte(f.Type)
-	buf[13] = byte(f.Method)
-	copy(buf[headerLen:], f.Payload)
-	_, err := w.Write(buf)
+	fb := framePool.Get().(*frameBuf)
+	hdr := fb.b[:headerLen]
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(10+len(f.Payload)))
+	binary.LittleEndian.PutUint64(hdr[4:12], f.ID)
+	hdr[12] = byte(f.Type)
+	hdr[13] = byte(f.Method)
+
+	var err error
+	if headerLen+len(f.Payload) <= inlineFrameMax {
+		n := copy(fb.b[headerLen:], f.Payload)
+		_, err = w.Write(fb.b[:headerLen+n])
+	} else {
+		fb.vecs = append(fb.vecs[:0], hdr, f.Payload)
+		orig := fb.vecs // WriteTo consumes the field; keep the backing array
+		_, err = fb.vecs.WriteTo(w)
+		orig[0], orig[1] = nil, nil // don't pin the payload in the pool
+		fb.vecs = orig[:0]
+	}
+	framePool.Put(fb)
 	return err
 }
 

@@ -1,0 +1,26 @@
+package rpc
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkWriteFrame exercises the pooled single-write path (payloads
+// that fit the inline buffer) and the writev path (large payloads sent as
+// a header/payload pair without copying). Run with -benchmem: both paths
+// are allocation-free in steady state.
+func BenchmarkWriteFrame(b *testing.B) {
+	run := func(b *testing.B, payload []byte) {
+		f := &Frame{ID: 7, Type: MsgRequest, Method: MethodPredict, Payload: payload}
+		b.SetBytes(int64(headerLen + len(payload)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := WriteFrame(io.Discard, f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("inline-256B", func(b *testing.B) { run(b, make([]byte, 256)) })
+	b.Run("writev-64KB", func(b *testing.B) { run(b, make([]byte, 64<<10)) })
+}

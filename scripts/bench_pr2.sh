@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# bench_pr2.sh — record the PR 2 performance trajectory.
+#
+# Runs the hot-path perf suite (dispatch pipeline throughput at InFlight
+# 1 vs 4, frame-write and codec allocation counts) and writes the JSON
+# report to BENCH_PR2.json at the repo root. The same quantities are
+# available as `go test -bench` benchmarks:
+#
+#   go test -run='^$' -bench=BenchmarkDispatchPipeline ./internal/batching/
+#   go test -run='^$' -bench='WriteFrame|Batch|Predictions' -benchmem \
+#       ./internal/rpc/ ./internal/container/
+set -eu
+cd "$(dirname "$0")/.."
+go run ./cmd/bench -perf BENCH_PR2.json
+echo "wrote $(pwd)/BENCH_PR2.json"
