@@ -16,7 +16,7 @@
 //	defer cl.Close()
 //
 //	// Deploy a model (any container.Predictor) behind an adaptive queue.
-//	cl.DeployPredictor(myModel, clipper.QueueConfig{
+//	cl.Deploy(myModel, nil, clipper.QueueConfig{
 //	    Controller: clipper.NewAIMD(clipper.AIMDConfig{SLO: 20 * time.Millisecond}),
 //	})
 //
@@ -26,7 +26,8 @@
 //	})
 //	resp, _ := app.Predict(ctx, features)
 //
-// See examples/ for complete programs and DESIGN.md for the architecture.
+// See examples/ for complete programs and docs/ARCHITECTURE.md for the
+// request lifecycle, the wire format, and the tuning knobs.
 package clipper
 
 import (
@@ -168,6 +169,14 @@ func ServeContainer(p Predictor, addr string) (string, func() error, error) {
 // Predictor deployable with (*Clipper).Deploy.
 func DialContainer(addr string, timeout time.Duration) (*container.Remote, error) {
 	return container.Dial(addr, timeout)
+}
+
+// DialContainerPool is DialContainer with a per-replica RPC connection
+// pool: conns connections to the container, batch frames round-robined
+// across them, lost connections redialed with backoff. conns <= 1 is
+// exactly DialContainer. See docs/ARCHITECTURE.md for when pooling pays.
+func DialContainerPool(addr string, timeout time.Duration, conns int) (*container.Remote, error) {
+	return container.DialConns(addr, timeout, conns)
 }
 
 // DefaultQueueConfig returns an adaptive AIMD queue tuned to the given

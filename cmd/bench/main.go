@@ -7,7 +7,7 @@
 //	bench -experiment all -scale quick
 //	bench -experiment fig4 -scale full
 //	bench -list
-//	bench -perf BENCH_PR2.json
+//	bench -perf BENCH_PR3.json
 package main
 
 import (
@@ -38,7 +38,7 @@ func main() {
 	}
 
 	if *perfOut != "" {
-		rep := perf.Run("pr2-dispatch-pipeline", 2*time.Second)
+		rep := perf.Run("pr3-rpc-pool", 2*time.Second)
 		out := os.Stdout
 		if *perfOut != "-" {
 			f, err := os.Create(*perfOut)

@@ -37,6 +37,7 @@ func main() {
 		dim        = flag.Int("dim", 64, "feature dimensionality")
 		classes    = flag.Int("classes", 10, "number of classes")
 		containers = flag.String("containers", "", "comma-separated remote model container addresses to deploy")
+		conns      = flag.Int("container-conns", 1, "RPC connections pooled per remote container (1 = single connection)")
 		storeAddr  = flag.String("store", "", "remote statestore address (empty = in-memory)")
 		statePath  = flag.String("state-file", "", "durable local state file (ignored when -store is set)")
 		noDemo     = flag.Bool("no-demo", false, "skip training/deploying the demo models")
@@ -103,7 +104,7 @@ func main() {
 			if caddr == "" {
 				continue
 			}
-			remote, err := clipper.DialContainer(caddr, 5*time.Second)
+			remote, err := clipper.DialContainerPool(caddr, 5*time.Second, *conns)
 			if err != nil {
 				log.Fatalf("dialing container %s: %v", caddr, err)
 			}
@@ -111,7 +112,7 @@ func main() {
 				clipper.DefaultQueueConfig(*slo)); err != nil {
 				log.Fatalf("deploying container %s: %v", caddr, err)
 			}
-			log.Printf("deployed remote container %s (%s)", remote.Info(), caddr)
+			log.Printf("deployed remote container %s (%s, %d conns)", remote.Info(), caddr, *conns)
 			names = append(names, remote.Info().Name)
 		}
 	}

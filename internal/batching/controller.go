@@ -10,6 +10,14 @@
 // no-batching controllers serve as baselines. Delayed batching (§4.3.2)
 // optionally holds a non-full batch briefly so bursty workloads can fill
 // it, analogous to Nagle's algorithm.
+//
+// Queue is the layer's workhorse: a per-replica pipeline whose collector
+// assembles controller-sized batches and keeps up to QueueConfig.InFlight
+// of them concurrently inside the replica. The queue's contract is that
+// every submitted request receives exactly one Result — a prediction or
+// an error — under concurrent submits, mid-flight Close, failed
+// connections, and panicking containers. Every dispatched batch feeds its
+// (size, latency) observation back to the controller.
 package batching
 
 import (

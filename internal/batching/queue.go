@@ -50,6 +50,14 @@ type QueueConfig struct {
 	// (the rpc.Client already multiplexes requests over one connection).
 	// Zero selects DefaultInFlight; 1 reproduces the serial
 	// one-batch-at-a-time dispatcher.
+	//
+	// InFlight composes with the replica's RPC connection pool size
+	// (container.DialConns / rpc.PoolConfig.Conns): the window says how
+	// many batches may be outstanding, Conns says how many can be *on the
+	// wire* at once. Over one connection, concurrent batch frames
+	// serialize behind each other's writes, so on transfer-bound links
+	// throughput scales with min(InFlight, Conns); see
+	// docs/ARCHITECTURE.md.
 	InFlight int
 }
 

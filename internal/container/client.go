@@ -9,10 +9,11 @@ import (
 	"clipper/internal/rpc"
 )
 
-// Remote is a Predictor backed by an RPC connection to a container process.
-// It is the Clipper-side handle to a deployed model replica.
+// Remote is a Predictor backed by one or more RPC connections to a
+// container process. It is the Clipper-side handle to a deployed model
+// replica.
 type Remote struct {
-	client *rpc.Client
+	client rpc.Caller
 	info   Info
 
 	mu     sync.Mutex
@@ -22,6 +23,8 @@ type Remote struct {
 var _ Predictor = (*Remote)(nil)
 
 // Dial connects to a model container server at addr and fetches its Info.
+// The Remote multiplexes every batch over a single connection — the
+// paper-faithful configuration; see DialConns for connection pooling.
 func Dial(addr string, timeout time.Duration) (*Remote, error) {
 	c, err := rpc.Dial(addr, timeout)
 	if err != nil {
@@ -30,13 +33,49 @@ func Dial(addr string, timeout time.Duration) (*Remote, error) {
 	return newRemote(c)
 }
 
+// DialConns is Dial with a per-replica connection pool: conns RPC
+// connections to the container, with batch frames round-robined across
+// them and lost connections redialed in the background (rpc.Pool). conns
+// <= 1 is exactly Dial — one connection, no pool machinery, no redial.
+// More connections keep large batch transfers from head-of-line-blocking
+// each other on high-bandwidth links.
+func DialConns(addr string, timeout time.Duration, conns int) (*Remote, error) {
+	if conns <= 1 {
+		return Dial(addr, timeout)
+	}
+	p, err := rpc.DialPool(addr, timeout, conns)
+	if err != nil {
+		return nil, err
+	}
+	return newRemote(p)
+}
+
 // NewRemoteConn wraps an established connection (e.g. a simulated
 // bandwidth-limited link) as a Remote.
 func NewRemoteConn(conn io.ReadWriteCloser) (*Remote, error) {
 	return newRemote(rpc.NewClient(conn))
 }
 
-func newRemote(c *rpc.Client) (*Remote, error) {
+// NewRemotePool is NewRemoteConn's pooled variant for connections that are
+// not plain TCP dials (simulated links, tests): dial is invoked conns
+// times up front and again whenever a pooled connection dies. conns <= 1
+// collapses to a single plain connection without pool machinery.
+func NewRemotePool(dial func() (io.ReadWriteCloser, error), conns int) (*Remote, error) {
+	if conns <= 1 {
+		conn, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		return NewRemoteConn(conn)
+	}
+	p, err := rpc.NewPool(rpc.PoolConfig{Conns: conns, Dial: dial})
+	if err != nil {
+		return nil, err
+	}
+	return newRemote(p)
+}
+
+func newRemote(c rpc.Caller) (*Remote, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	raw, err := c.Call(ctx, rpc.MethodInfo, nil)

@@ -7,6 +7,14 @@
 // each container in Docker; here process- or goroutine-level isolation
 // behind the same RPC boundary preserves the architectural property under
 // study — that Clipper only ever talks to models through batched RPCs.
+//
+// Remote is the serving-node-side handle to a deployed replica. It speaks
+// to the container over a single multiplexed connection (Dial) or a
+// per-replica connection pool (DialConns) that overlaps concurrent batch
+// transfers and survives the loss of any single connection; Conns <= 1 is
+// the paper-faithful single-socket configuration. Predictor
+// implementations must tolerate concurrent PredictBatch calls: the
+// batching pipeline keeps several batches in flight per replica.
 package container
 
 import (

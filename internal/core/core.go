@@ -25,6 +25,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"clipper/internal/batching"
 	"clipper/internal/cache"
@@ -124,6 +125,26 @@ func (cl *Clipper) Deploy(pred container.Predictor, stop func(), qcfg batching.Q
 	cl.infos[info.Name] = info
 	if _, ok := cl.rr[info.Name]; !ok {
 		cl.rr[info.Name] = &atomic.Uint64{}
+	}
+	return rep, nil
+}
+
+// DeployRemote dials a model container at addr and deploys it as a
+// replica behind an adaptive batching queue. conns sets the replica's RPC
+// connection pool size (rpc.Pool): batches round-robin across conns
+// connections, and a lost connection fails over to the survivors while it
+// is redialed. conns <= 1 selects the single-connection client — the
+// paper-faithful default. The replica's connections are closed when the
+// replica stops.
+func (cl *Clipper) DeployRemote(addr string, timeout time.Duration, conns int, qcfg batching.QueueConfig) (*container.Replica, error) {
+	remote, err := container.DialConns(addr, timeout, conns)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := cl.Deploy(remote, func() { remote.Close() }, qcfg)
+	if err != nil {
+		remote.Close()
+		return nil, err
 	}
 	return rep, nil
 }

@@ -464,3 +464,48 @@ func TestCloseLifecycle(t *testing.T) {
 		t.Fatalf("post-close resp = %+v", resp)
 	}
 }
+
+func TestDeployRemoteConns(t *testing.T) {
+	// Host a real RPC container and deploy it through the pooled dial
+	// path; predictions must flow end to end at Conns > 1.
+	addr, srv, err := container.Serve(&stubModel{name: "remote-m", label: 3}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl := New(Config{CacheSize: -1})
+	defer cl.Close()
+	rep, err := cl.DeployRemote(addr, time.Second, 3,
+		batching.QueueConfig{Controller: batching.NewFixed(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pred.Info().Name != "remote-m" {
+		t.Fatalf("deployed %q", rep.Pred.Info().Name)
+	}
+	app, err := cl.RegisterApp(AppConfig{
+		Name: "a", Models: []string{"remote-m"}, Policy: selection.NewStatic(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		resp, err := app.Predict(context.Background(), []float64{float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Label != 3 {
+			t.Fatalf("label = %d, want 3", resp.Label)
+		}
+	}
+}
+
+func TestDeployRemoteDialFailure(t *testing.T) {
+	cl := New(Config{})
+	defer cl.Close()
+	if _, err := cl.DeployRemote("127.0.0.1:1", 50*time.Millisecond, 2,
+		batching.QueueConfig{Controller: batching.NewFixed(4)}); err == nil {
+		t.Fatal("DeployRemote to a dead address succeeded")
+	}
+}

@@ -83,6 +83,9 @@ func runReplicaScaling(n int, gbps float64, dim, workers int, warm, measure time
 			nodeEnd, contEnd := fabric.NewLink()
 			srv := rpc.NewServer(container.Handler(pred))
 			go srv.ServeConn(contEnd)
+			// One connection per replica (Conns=1, not NewRemotePool):
+			// the paper's setup multiplexes each replica over a single
+			// socket, and this figure reproduces its scaling numbers.
 			remote, rerr := container.NewRemoteConn(nodeEnd)
 			if rerr != nil {
 				return 0, 0, 0, rerr

@@ -13,7 +13,7 @@ import (
 // paper's core deployment story ("new models and frameworks can be
 // introduced without modifying end-user applications"):
 //
-//	POST /api/v1/admin/deploy   {"addr","slo_ms"}  dial + deploy a container
+//	POST /api/v1/admin/deploy   {"addr","slo_ms","conns"}  dial + deploy a container
 //	GET  /api/v1/admin/replicas?model=<name>       replica health
 //	POST /api/v1/admin/health   {"replica","healthy"}
 
@@ -25,6 +25,9 @@ type DeployRequest struct {
 	SLOMillis int `json:"slo_ms,omitempty"`
 	// BatchTimeoutMicros optionally enables delayed batching.
 	BatchTimeoutMicros int `json:"batch_timeout_us,omitempty"`
+	// Conns sets the replica's RPC connection pool size; 0 or 1 selects
+	// the single-connection client (see docs/ARCHITECTURE.md).
+	Conns int `json:"conns,omitempty"`
 }
 
 // DeployResponse reports the deployed replica.
@@ -61,7 +64,11 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "addr required")
 		return
 	}
-	remote, err := container.Dial(req.Addr, 5*time.Second)
+	// Deliberately not core.DeployRemote: the admin API distinguishes a
+	// dial failure (502, the container is unreachable) from a deploy
+	// conflict (409, e.g. a version mismatch), which the combined helper
+	// collapses into one error.
+	remote, err := container.DialConns(req.Addr, 5*time.Second, req.Conns)
 	if err != nil {
 		writeError(w, http.StatusBadGateway, "dialing container: "+err.Error())
 		return

@@ -144,3 +144,40 @@ func TestAdminHealthEndpoint(t *testing.T) {
 		t.Fatalf("unknown replica: %d", rec.Code)
 	}
 }
+
+func TestAdminDeployPooledConns(t *testing.T) {
+	s, cl := newTestServer(t)
+	h := s.Handler()
+
+	addr, srv, err := container.Serve(&fixedModel{name: "pooled-model", label: 5}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rec := postJSON(t, h, "/api/v1/admin/deploy", DeployRequest{Addr: addr, SLOMillis: 10, Conns: 3})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pooled deploy status = %d body=%s", rec.Code, rec.Body)
+	}
+	var resp DeployResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Model != "pooled-model" {
+		t.Fatalf("deployed %q", resp.Model)
+	}
+	// The pooled replica serves predictions like any other.
+	app, err := cl.RegisterApp(core.AppConfig{
+		Name: "pooled", Models: []string{"pooled-model"}, Policy: selection.NewStatic(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp, err := app.Predict(context.Background(), []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if presp.Label != 5 {
+		t.Fatalf("label = %d, want 5", presp.Label)
+	}
+}

@@ -1,13 +1,14 @@
 // Package perf measures the serving hot paths this repo optimizes PR over
-// PR — currently the batching dispatch pipeline and the RPC/codec
-// allocation profile — and renders the results as a JSON report
-// (BENCH_PR2.json and successors) so the performance trajectory is
-// recorded alongside the code. cmd/bench -perf drives it; the same
-// quantities are covered by `go test -bench` benchmarks in their home
-// packages.
+// PR — the batching dispatch pipeline, the per-replica RPC connection
+// pool, and the RPC/codec allocation profile — and renders the results as
+// a JSON report (BENCH_PR2.json, BENCH_PR3.json, and successors) so the
+// performance trajectory is recorded alongside the code. cmd/bench -perf
+// drives it; the same quantities are covered by `go test -bench`
+// benchmarks in their home packages.
 package perf
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"io"
@@ -19,6 +20,7 @@ import (
 	"clipper/internal/batching"
 	"clipper/internal/container"
 	"clipper/internal/rpc"
+	"clipper/internal/simnet"
 )
 
 // Measurement is one named scalar result.
@@ -103,6 +105,96 @@ func DispatchPipelineQPS(inFlight int, dur time.Duration) float64 {
 	return float64(completed) / elapsed.Seconds()
 }
 
+// PoolPipelineQPS drives a batching queue (Fixed(16) batches, the given
+// pipeline window) over a container.Remote backed by conns pooled RPC
+// connections, each crossing its own simulated 1 Gbps link to a
+// transfer-bound container (~1 ms of wire time per 128 KB batch vs 100 µs
+// of compute), for roughly dur. The per-connection limiter models
+// single-stream throughput caps on fat pipes; with one connection the
+// window's batch frames head-of-line-block behind each other's writes,
+// with Conns > 1 they transfer in parallel.
+func PoolPipelineQPS(inFlight, conns int, dur time.Duration) float64 {
+	const dim = 1024 // 8 KB per query, 128 KB per 16-query batch
+	pred := container.NewFunc(container.Info{Name: "xfer", Version: 1},
+		func(xs [][]float64) ([]container.Prediction, error) {
+			time.Sleep(100 * time.Microsecond) // compute ≪ transfer
+			out := make([]container.Prediction, len(xs))
+			for i := range xs {
+				out[i] = container.Prediction{Label: i}
+			}
+			return out, nil
+		})
+	srv := rpc.NewServer(container.Handler(pred))
+	defer srv.Close()
+	dial := func() (io.ReadWriteCloser, error) {
+		fabric := simnet.NewFabric(simnet.Gbps(1), 20*time.Microsecond)
+		nodeEnd, contEnd := fabric.NewLink()
+		go srv.ServeConn(contEnd)
+		return nodeEnd, nil
+	}
+	remote, err := container.NewRemotePool(dial, conns)
+	if err != nil {
+		panic(err)
+	}
+	defer remote.Close()
+	q := batching.NewQueue(remote, batching.QueueConfig{
+		Controller: batching.NewFixed(16),
+		InFlight:   inFlight,
+	})
+	defer q.Close()
+
+	const submitters = 128
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var completed int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			x := make([]float64, dim)
+			x[0] = float64(s)
+			n := int64(0)
+			for ctx.Err() == nil {
+				if _, err := q.Submit(ctx, x); err != nil {
+					break
+				}
+				n++
+			}
+			mu.Lock()
+			completed += n
+			mu.Unlock()
+		}(s)
+	}
+	start := time.Now()
+	time.Sleep(dur)
+	cancel()
+	wg.Wait()
+	elapsed := time.Since(start)
+	return float64(completed) / elapsed.Seconds()
+}
+
+// ReadFrameAllocs returns allocations per rpc.ReadFrame of a frame with
+// the given payload size (the length-prefix scratch is pooled; the body
+// and Frame remain per-frame allocations until payloads get an explicit
+// release point past the codec — see ROADMAP.md).
+func ReadFrameAllocs(payloadSize int) float64 {
+	var buf bytes.Buffer
+	f := &rpc.Frame{ID: 1, Type: rpc.MsgRequest, Method: rpc.MethodPredict, Payload: make([]byte, payloadSize)}
+	if err := rpc.WriteFrame(&buf, f); err != nil {
+		panic(err)
+	}
+	wire := buf.Bytes()
+	r := bytes.NewReader(wire)
+	return testing.AllocsPerRun(1000, func() {
+		r.Reset(wire)
+		if _, err := rpc.ReadFrame(r); err != nil {
+			panic(err)
+		}
+	})
+}
+
 // FrameWriteAllocs returns allocations per rpc.WriteFrame of a frame with
 // the given payload size.
 func FrameWriteAllocs(payloadSize int) float64 {
@@ -172,12 +264,22 @@ func Run(id string, dur time.Duration) Report {
 	}
 	qps1 := DispatchPipelineQPS(1, dur)
 	qps4 := DispatchPipelineQPS(4, dur)
+	pool1 := PoolPipelineQPS(4, 1, dur)
+	pool2 := PoolPipelineQPS(4, 2, dur)
+	pool4 := PoolPipelineQPS(4, 4, dur)
 	rep.Measurements = append(rep.Measurements,
 		Measurement{Name: "dispatch_pipeline_inflight1", Unit: "qps", Value: qps1},
 		Measurement{Name: "dispatch_pipeline_inflight4", Unit: "qps", Value: qps4},
 		Measurement{Name: "dispatch_pipeline_speedup", Unit: "x", Value: qps4 / qps1},
+		Measurement{Name: "pool_pipeline_inflight4_conns1", Unit: "qps", Value: pool1},
+		Measurement{Name: "pool_pipeline_inflight4_conns2", Unit: "qps", Value: pool2},
+		Measurement{Name: "pool_pipeline_inflight4_conns4", Unit: "qps", Value: pool4},
+		Measurement{Name: "pool_pipeline_conns2_speedup", Unit: "x", Value: pool2 / pool1},
+		Measurement{Name: "pool_pipeline_conns4_speedup", Unit: "x", Value: pool4 / pool1},
 		Measurement{Name: "write_frame_inline_256B", Unit: "allocs/op", Value: FrameWriteAllocs(256)},
 		Measurement{Name: "write_frame_writev_64KB", Unit: "allocs/op", Value: FrameWriteAllocs(64 << 10)},
+		Measurement{Name: "read_frame_inline_256B", Unit: "allocs/op", Value: ReadFrameAllocs(256)},
+		Measurement{Name: "read_frame_large_64KB", Unit: "allocs/op", Value: ReadFrameAllocs(64 << 10)},
 		Measurement{Name: "decode_batch_64x128", Unit: "allocs/op", Value: DecodeBatchAllocs(64, 128)},
 		Measurement{Name: "decode_predictions_64x10", Unit: "allocs/op", Value: DecodePredictionsAllocs(64, 10)},
 		Measurement{Name: "append_batch_reused_64x128", Unit: "allocs/op", Value: AppendBatchAllocs(64, 128)},

@@ -18,6 +18,9 @@ type Client struct {
 
 	writeMu sync.Mutex
 
+	done     chan struct{} // closed when the client dies (read failure or Close)
+	doneOnce sync.Once
+
 	mu      sync.Mutex
 	pending map[uint64]chan *Frame
 	nextID  uint64
@@ -46,10 +49,33 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 func NewClient(conn io.ReadWriteCloser) *Client {
 	c := &Client{
 		conn:    conn,
+		done:    make(chan struct{}),
 		pending: make(map[uint64]chan *Frame),
 	}
 	go c.readLoop()
 	return c
+}
+
+// Done returns a channel closed when the client dies — its connection
+// failed or Close was called. Pool watches it to trigger redials.
+func (c *Client) Done() <-chan struct{} { return c.done }
+
+// alive reports whether the client has not yet died. Pool uses it to route
+// new calls away from a dead connection its monitor hasn't replaced yet.
+func (c *Client) alive() bool {
+	select {
+	case <-c.done:
+		return false
+	default:
+		return true
+	}
+}
+
+// Err returns the error that killed the client, or nil while it is live.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.readErr
 }
 
 func (c *Client) readLoop() {
@@ -81,6 +107,12 @@ func (c *Client) failAll(err error) {
 	pending := c.pending
 	c.pending = make(map[uint64]chan *Frame)
 	c.mu.Unlock()
+	// Release the connection's descriptor: the read loop exiting means the
+	// connection is unusable whatever the cause (EOF, reset, protocol
+	// error), and nothing else closes it — a pool replaces the dead client
+	// wholesale, which would otherwise leak one fd per connection death.
+	c.conn.Close()
+	c.doneOnce.Do(func() { close(c.done) })
 	for _, ch := range pending {
 		close(ch)
 	}
@@ -189,6 +221,7 @@ func (c *Client) Close() error {
 	c.closed = true
 	c.readErr = ErrClientClosed
 	c.mu.Unlock()
+	c.doneOnce.Do(func() { close(c.done) })
 	return c.conn.Close()
 }
 

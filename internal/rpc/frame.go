@@ -6,7 +6,18 @@
 // io.ReadWriter (normally TCP): each frame carries a request id for
 // response correlation, a message type, a method id, and an opaque payload.
 // Requests multiplex over one connection; the server may answer them out of
-// order. The codec for prediction batches lives in codec.go.
+// order.
+//
+// Two client shapes share the Caller interface. Client multiplexes
+// concurrent calls over a single connection, correlating responses by
+// request id through a per-connection pending map. Pool holds N such
+// connections to one replica and round-robins calls across them, so
+// concurrent batch frames transfer in parallel instead of
+// head-of-line-blocking behind one in-progress write; when a pooled
+// connection dies, only its in-flight calls fail — the survivors keep
+// serving while the lost connection is redialed with backoff. The frame
+// wire format and both layers' failure semantics are documented in
+// docs/ARCHITECTURE.md.
 package rpc
 
 import (
@@ -63,9 +74,11 @@ var ErrFrameTooLarge = errors.New("rpc: frame exceeds maximum size")
 // via net.Buffers (writev on TCP) without copying at all.
 const inlineFrameMax = 4096
 
-// framePool recycles write buffers so the frame hot path allocates
-// nothing: small frames borrow a full inline buffer, large frames borrow
-// it for the 14-byte header of their writev pair.
+// framePool recycles header/body scratch buffers so the frame hot paths
+// allocate as little as possible: on the write side small frames borrow a
+// full inline buffer and large frames borrow it for the 14-byte header of
+// their writev pair; on the read side ReadFrame borrows it for the 4-byte
+// length prefix.
 var framePool = sync.Pool{
 	New: func() any { return &frameBuf{} },
 }
@@ -108,12 +121,25 @@ func WriteFrame(w io.Writer, f *Frame) error {
 }
 
 // ReadFrame reads one frame from r.
+//
+// The 4-byte length prefix is read into a pooled scratch buffer (a
+// stack-declared array would escape through the io.Reader interface and
+// cost an allocation per frame). The frame body, however, is freshly
+// allocated every time: Frame.Payload aliases it and the payload's
+// lifetime extends past ReadFrame with no explicit release point — the
+// client hands it to the codec inside Remote.PredictBatchContext, and the
+// server hands it to an arbitrary Handler that may retain it. Pooling the
+// body needs a payload-release contract past the codec (see the read-side
+// frame buffer reuse item in ROADMAP.md) and is deliberately not done
+// here.
 func ReadFrame(r io.Reader) (*Frame, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+	fb := framePool.Get().(*frameBuf)
+	_, err := io.ReadFull(r, fb.b[:4])
+	n := binary.LittleEndian.Uint32(fb.b[:4])
+	framePool.Put(fb)
+	if err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(lenBuf[:])
 	if n < 10 {
 		return nil, fmt.Errorf("rpc: short frame length %d", n)
 	}

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"bytes"
 	"io"
 	"testing"
 )
@@ -23,4 +24,32 @@ func BenchmarkWriteFrame(b *testing.B) {
 	}
 	b.Run("inline-256B", func(b *testing.B) { run(b, make([]byte, 256)) })
 	b.Run("writev-64KB", func(b *testing.B) { run(b, make([]byte, 64<<10)) })
+}
+
+// BenchmarkReadFrame measures the read side. With the length-prefix
+// scratch pooled, the remaining allocations per frame are the body buffer
+// (which Frame.Payload aliases — its lifetime extends past ReadFrame, so
+// it cannot be pooled without a release contract past the codec; see
+// ROADMAP.md) and the Frame struct itself.
+func BenchmarkReadFrame(b *testing.B) {
+	run := func(b *testing.B, payload []byte) {
+		var buf bytes.Buffer
+		f := &Frame{ID: 7, Type: MsgRequest, Method: MethodPredict, Payload: payload}
+		if err := WriteFrame(&buf, f); err != nil {
+			b.Fatal(err)
+		}
+		wire := buf.Bytes()
+		b.SetBytes(int64(len(wire)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		r := bytes.NewReader(wire)
+		for i := 0; i < b.N; i++ {
+			r.Reset(wire)
+			if _, err := ReadFrame(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("inline-256B", func(b *testing.B) { run(b, make([]byte, 256)) })
+	b.Run("large-64KB", func(b *testing.B) { run(b, make([]byte, 64<<10)) })
 }

@@ -1,0 +1,238 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Caller is the client-side call surface shared by Client (one connection)
+// and Pool (N pooled connections). container.Remote speaks to either.
+type Caller interface {
+	// Call sends a request and blocks for its response or ctx cancellation.
+	Call(ctx context.Context, method Method, payload []byte) ([]byte, error)
+	// Ping round-trips a heartbeat frame.
+	Ping(ctx context.Context) error
+	// Close tears down the connection(s); in-flight calls fail.
+	Close() error
+}
+
+var (
+	_ Caller = (*Client)(nil)
+	_ Caller = (*Pool)(nil)
+)
+
+// ErrNoConns is returned by Pool calls while every pooled connection is
+// down and awaiting redial.
+var ErrNoConns = errors.New("rpc: no live connections in pool")
+
+// Pool default redial backoff parameters (see PoolConfig).
+const (
+	DefaultRedialBackoff    = 50 * time.Millisecond
+	DefaultMaxRedialBackoff = 2 * time.Second
+)
+
+// PoolConfig parameterizes NewPool. Zero values select defaults.
+type PoolConfig struct {
+	// Conns is the number of connections to hold open; 0 or 1 selects a
+	// single connection. More connections let concurrent batch frames
+	// transfer in parallel instead of head-of-line-blocking behind one
+	// in-progress frame write, and let the pool survive the loss of any
+	// single connection.
+	Conns int
+	// Dial establishes one connection. Required. It is called Conns times
+	// at construction and again, with backoff, whenever a pooled
+	// connection dies.
+	Dial func() (io.ReadWriteCloser, error)
+	// RedialBackoff is the delay before the first reconnection attempt for
+	// a dead connection; it doubles per consecutive failure. Zero selects
+	// DefaultRedialBackoff.
+	RedialBackoff time.Duration
+	// MaxRedialBackoff caps the growing backoff. Zero selects
+	// DefaultMaxRedialBackoff.
+	MaxRedialBackoff time.Duration
+}
+
+// Pool is a fixed-size pool of RPC connections to one replica. Calls
+// round-robin across the live connections; each connection is a full
+// multiplexing Client with its own pending map, so responses correlate per
+// connection and one slow frame write never blocks the other connections'
+// traffic.
+//
+// When a connection dies, only the calls in flight on it fail — the other
+// connections keep serving — and a monitor goroutine redials the lost
+// connection with exponential backoff until it is restored or the pool is
+// closed. While every connection is down, calls fail fast with ErrNoConns.
+type Pool struct {
+	cfg PoolConfig
+
+	rr    atomic.Uint64
+	slots []atomic.Pointer[Client]
+
+	stop      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// NewPool dials cfg.Conns connections and starts their redial monitors.
+// Construction is all-or-nothing: if any initial dial fails, the already
+// established connections are closed and the error is returned.
+func NewPool(cfg PoolConfig) (*Pool, error) {
+	if cfg.Dial == nil {
+		return nil, errors.New("rpc: PoolConfig.Dial is required")
+	}
+	if cfg.Conns < 1 {
+		cfg.Conns = 1
+	}
+	if cfg.RedialBackoff <= 0 {
+		cfg.RedialBackoff = DefaultRedialBackoff
+	}
+	if cfg.MaxRedialBackoff <= 0 {
+		cfg.MaxRedialBackoff = DefaultMaxRedialBackoff
+	}
+	p := &Pool{
+		cfg:   cfg,
+		slots: make([]atomic.Pointer[Client], cfg.Conns),
+		stop:  make(chan struct{}),
+	}
+	for i := range p.slots {
+		conn, err := cfg.Dial()
+		if err != nil {
+			for j := 0; j < i; j++ {
+				p.slots[j].Load().Close()
+			}
+			return nil, err
+		}
+		p.slots[i].Store(NewClient(conn))
+	}
+	for i := range p.slots {
+		p.wg.Add(1)
+		go p.monitor(i)
+	}
+	return p, nil
+}
+
+// DialPool connects conns TCP connections to a container server at addr.
+func DialPool(addr string, timeout time.Duration, conns int) (*Pool, error) {
+	return NewPool(PoolConfig{
+		Conns: conns,
+		Dial: func() (io.ReadWriteCloser, error) {
+			conn, err := net.DialTimeout("tcp", addr, timeout)
+			if err != nil {
+				return nil, err
+			}
+			if tcp, ok := conn.(*net.TCPConn); ok {
+				tcp.SetNoDelay(true) // latency matters more than packet count
+			}
+			return conn, nil
+		},
+	})
+}
+
+// Conns returns the pool's configured connection count.
+func (p *Pool) Conns() int { return len(p.slots) }
+
+// monitor owns slot i: it waits for the slot's client to die, then redials
+// with exponential backoff until the connection is restored or the pool
+// closes. In-flight calls on the dead client have already been failed (and
+// its descriptor closed) by its read loop; the nil slot simply routes new
+// calls to the survivors.
+//
+// Backoff covers flapping, not just refused dials: every redial waits
+// backoff first, and backoff only resets after a connection survives
+// longer than MaxRedialBackoff. Without that, a listener that accepts and
+// immediately drops connections (crashed container behind a live LB) would
+// make "dial succeeded" reset the backoff and the monitor would spin
+// connect/teardown at full speed.
+func (p *Pool) monitor(i int) {
+	defer p.wg.Done()
+	backoff := p.cfg.RedialBackoff
+	for {
+		c := p.slots[i].Load()
+		established := time.Now()
+		select {
+		case <-c.Done():
+		case <-p.stop:
+			return
+		}
+		p.slots[i].Store(nil)
+		if time.Since(established) > p.cfg.MaxRedialBackoff {
+			backoff = p.cfg.RedialBackoff // the connection was genuinely live
+		}
+		for {
+			select {
+			case <-time.After(backoff):
+			case <-p.stop:
+				return
+			}
+			if backoff *= 2; backoff > p.cfg.MaxRedialBackoff {
+				backoff = p.cfg.MaxRedialBackoff
+			}
+			conn, err := p.cfg.Dial()
+			if err == nil {
+				p.slots[i].Store(NewClient(conn))
+				break
+			}
+		}
+	}
+}
+
+// pick returns the next live connection, round-robin. Clients already
+// known dead (their monitor hasn't swapped the slot yet) are skipped; a
+// connection that dies between pick and use still fails the call, exactly
+// as a single-connection client would, and callers above the RPC layer
+// already handle call errors.
+func (p *Pool) pick() (*Client, error) {
+	n := len(p.slots)
+	i := int(p.rr.Add(1) % uint64(n))
+	for probe := 0; probe < n; probe++ {
+		if c := p.slots[(i+probe)%n].Load(); c != nil && c.alive() {
+			return c, nil
+		}
+	}
+	select {
+	case <-p.stop:
+		return nil, ErrClientClosed
+	default:
+		return nil, ErrNoConns
+	}
+}
+
+// Call implements Caller over the next live pooled connection.
+func (p *Pool) Call(ctx context.Context, method Method, payload []byte) ([]byte, error) {
+	c, err := p.pick()
+	if err != nil {
+		return nil, err
+	}
+	return c.Call(ctx, method, payload)
+}
+
+// Ping implements Caller: it heartbeats one live connection (liveness of
+// the replica, not of every socket — dead sockets are already redialing).
+func (p *Pool) Ping(ctx context.Context) error {
+	c, err := p.pick()
+	if err != nil {
+		return err
+	}
+	return c.Ping(ctx)
+}
+
+// Close stops the redial monitors and tears down every connection;
+// in-flight calls fail.
+func (p *Pool) Close() error {
+	p.closeOnce.Do(func() { close(p.stop) })
+	p.wg.Wait() // monitors store no new clients after this
+	var first error
+	for i := range p.slots {
+		if c := p.slots[i].Load(); c != nil {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

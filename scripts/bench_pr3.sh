@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# bench_pr3.sh — record the PR 3 performance trajectory.
+#
+# Runs the hot-path perf suite (dispatch pipeline throughput, the RPC
+# connection pool's InFlight×Conns scaling against a transfer-bound
+# simulated container, and the frame/codec allocation counts) and writes
+# the JSON report to BENCH_PR3.json at the repo root. The same quantities
+# are available as `go test -bench` benchmarks:
+#
+#   go test -run='^$' -bench='DispatchPipeline|PoolPipeline' ./internal/batching/
+#   go test -run='^$' -bench='WriteFrame|ReadFrame|Batch|Predictions' -benchmem \
+#       ./internal/rpc/ ./internal/container/
+set -eu
+cd "$(dirname "$0")/.."
+go run ./cmd/bench -perf BENCH_PR3.json
+echo "wrote $(pwd)/BENCH_PR3.json"

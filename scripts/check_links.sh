@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# check_links.sh — verify that every relative markdown link in the repo's
+# documentation points at a file or directory that exists. External links
+# (http/https) and pure anchors are skipped; anchors and optional link
+# titles ([text](target "Title")) are stripped before checking. No
+# dependencies beyond POSIX sh + grep/sed.
+#
+# Usage: scripts/check_links.sh [files...]   (default: all *.md)
+set -eu
+cd "$(dirname "$0")/.."
+
+if [ "$#" -gt 0 ]; then
+  files="$*"
+else
+  files=$(find . -name '*.md' -not -path './.git/*' | sort)
+fi
+
+status=0
+for f in $files; do
+  dir=$(dirname "$f")
+  # Extract inline markdown link targets, dropping any trailing "Title".
+  links=$(grep -o '\[[^]]*\]([^)]*)' "$f" 2>/dev/null |
+    sed -e 's/.*](\([^)]*\))/\1/' -e 's/ *"[^"]*" *$//') || true
+  [ -n "$links" ] || continue
+  # Iterate line-by-line in the current shell (no pipe subshell) so that
+  # targets containing spaces stay intact and $status propagates.
+  while IFS= read -r link; do
+    [ -n "$link" ] || continue
+    case "$link" in
+    http://* | https://* | mailto:* | \#*) continue ;;
+    esac
+    target=${link%%#*} # strip anchor
+    [ -n "$target" ] || continue
+    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+      echo "BROKEN: $f -> $link" >&2
+      status=1
+    fi
+  done <<EOF
+$links
+EOF
+done
+if [ "$status" -ne 0 ]; then
+  echo "markdown link check failed" >&2
+else
+  echo "markdown link check OK"
+fi
+exit $status
