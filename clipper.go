@@ -82,6 +82,11 @@ type (
 	AIMDConfig = batching.AIMDConfig
 	// QuantileRegConfig parameterizes NewQuantileReg.
 	QuantileRegConfig = batching.QuantileRegConfig
+	// Adaptive sizes the dispatch pipeline window and the replica's RPC
+	// connection pool target at runtime (one instance per deploy).
+	Adaptive = batching.Adaptive
+	// AdaptiveConfig parameterizes NewAdaptive.
+	AdaptiveConfig = batching.AdaptiveConfig
 )
 
 // Selection types.
@@ -109,6 +114,23 @@ func NewQuantileReg(cfg QuantileRegConfig) Controller { return batching.NewQuant
 
 // NewFixedBatch returns a static batch-size controller (1 = no batching).
 func NewFixedBatch(n int) Controller { return batching.NewFixed(n) }
+
+// NewAdaptive returns a controller that sizes a replica's pipeline window
+// (QueueConfig.InFlight) and RPC pool target at runtime from observed
+// batch latency, throughput, and pool write-queue telemetry, the same way
+// AIMD sizes batches. Set it as QueueConfig.Adaptive; Deploy attaches the
+// replica's connection pool automatically. See docs/ARCHITECTURE.md.
+func NewAdaptive(cfg AdaptiveConfig) *Adaptive { return batching.NewAdaptive(cfg) }
+
+// AdaptiveQueueConfig is DefaultQueueConfig with the pipeline window and
+// pool target adaptive rather than pinned: maxInFlight and the deploy's
+// conns bound what the controller may use.
+func AdaptiveQueueConfig(slo time.Duration, maxInFlight int) QueueConfig {
+	return QueueConfig{
+		Controller: NewAIMD(AIMDConfig{SLO: slo}),
+		Adaptive:   NewAdaptive(AdaptiveConfig{MaxInFlight: maxInFlight}),
+	}
+}
 
 // NewExp3 returns the single-model bandit selection policy (paper §5.1).
 func NewExp3(eta float64) Policy { return selection.NewExp3(eta) }

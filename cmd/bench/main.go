@@ -7,7 +7,8 @@
 //	bench -experiment all -scale quick
 //	bench -experiment fig4 -scale full
 //	bench -list
-//	bench -perf BENCH_PR3.json
+//	bench -perf BENCH_PR4.json -id pr4-adaptive
+//	bench -check BENCH_PR4.json
 package main
 
 import (
@@ -27,6 +28,9 @@ func main() {
 		scaleName  = flag.String("scale", "quick", "experiment fidelity: quick or full")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 		perfOut    = flag.String("perf", "", "run the hot-path perf suite and write its JSON report to this path ('-' for stdout)")
+		perfID     = flag.String("id", "pr4-adaptive", "report id recorded in the -perf JSON")
+		perfDur    = flag.Duration("dur", 2*time.Second, "duration of each -perf throughput measurement")
+		checkPath  = flag.String("check", "", "validate the perf report JSON at this path (schema sanity; the CI bench gate) and exit")
 	)
 	flag.Parse()
 
@@ -37,8 +41,24 @@ func main() {
 		return
 	}
 
+	if *checkPath != "" {
+		f, err := os.Open(*checkPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		rep, err := perf.ValidateJSON(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", *checkPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: ok (%s, %d measurements)\n", *checkPath, rep.ID, len(rep.Measurements))
+		return
+	}
+
 	if *perfOut != "" {
-		rep := perf.Run("pr3-rpc-pool", 2*time.Second)
+		rep := perf.Run(*perfID, *perfDur)
 		out := os.Stdout
 		if *perfOut != "-" {
 			f, err := os.Create(*perfOut)

@@ -1,0 +1,120 @@
+package batching_test
+
+// BenchmarkAdaptivePipeline measures the adaptive InFlight/Conns control
+// loop end to end against the same transfer-bound simulated containers as
+// BenchmarkPoolPipeline: the controller starts at InFlight=1 over a
+// single routed connection and must discover the window and pool target
+// that saturate the wire, converging toward the best hand-tuned static
+// setting (InFlight4/Conns4 in BENCH_PR3.json). The compute-bound variant
+// starts wide and must shrink back. scripts/bench_pr4.sh records the same
+// quantities in BENCH_PR4.json.
+
+import (
+	"context"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"clipper/internal/batching"
+	"clipper/internal/container"
+	"clipper/internal/rpc"
+)
+
+// loopbackPoolRemote builds a pooled Remote over plain in-memory pipes
+// (no bandwidth limiting): transfer is effectively free, so the workload
+// is bound by whatever the predictor does.
+func loopbackPoolRemote(tb testing.TB, pred container.Predictor, conns int) (*container.Remote, func()) {
+	tb.Helper()
+	srv := rpc.NewServer(container.Handler(pred))
+	dial := func() (io.ReadWriteCloser, error) {
+		cli, s := net.Pipe()
+		go srv.ServeConn(s)
+		return cli, nil
+	}
+	remote, err := container.NewRemotePool(dial, conns)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return remote, func() {
+		remote.Close()
+		srv.Close()
+	}
+}
+
+// runAdaptive drives b.N queries through an adaptive queue over the given
+// remote and reports the final operating point.
+func runAdaptive(b *testing.B, remote *container.Remote, cfg batching.AdaptiveConfig) {
+	adapt := batching.NewAdaptive(cfg)
+	adapt.AttachPool(remote)
+	q := batching.NewQueue(remote, batching.QueueConfig{
+		Controller: batching.NewFixed(benchBatch),
+		Adaptive:   adapt,
+	})
+	defer q.Close()
+
+	const submitters = 128
+	work := make(chan int, submitters)
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			x := make([]float64, benchDim)
+			for i := range work {
+				x[0] = float64(i)
+				if _, err := q.Submit(context.Background(), x); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	b.StopTimer()
+	snap := adapt.Snapshot()
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "qps")
+	b.ReportMetric(float64(snap.InFlight), "final-inflight")
+	b.ReportMetric(float64(snap.PoolTarget), "final-conns")
+}
+
+func BenchmarkAdaptivePipeline(b *testing.B) {
+	b.Run("TransferBound", func(b *testing.B) {
+		remote, stop := transferBoundRemote(b, 4)
+		defer stop()
+		runAdaptive(b, remote, batching.AdaptiveConfig{
+			MinInFlight: 1, MaxInFlight: 16,
+			ProbeBatches: 16,
+		})
+	})
+	b.Run("ComputeBound", func(b *testing.B) {
+		// Serialized 2 ms compute, negligible transfer: extra window or
+		// connections buy nothing, so the controller must shed both.
+		var mu sync.Mutex
+		pred := container.NewFunc(container.Info{Name: "cpu", Version: 1},
+			func(xs [][]float64) ([]container.Prediction, error) {
+				mu.Lock()
+				defer mu.Unlock()
+				time.Sleep(2 * time.Millisecond)
+				out := make([]container.Prediction, len(xs))
+				for i := range xs {
+					out[i] = container.Prediction{Label: i}
+				}
+				return out, nil
+			})
+		remote, stop := loopbackPoolRemote(b, pred, 4)
+		defer stop()
+		runAdaptive(b, remote, batching.AdaptiveConfig{
+			MinInFlight: 1, MaxInFlight: 16, InitialInFlight: 8,
+			InitialConns: 4, ProbeBatches: 8,
+		})
+	})
+}

@@ -59,6 +59,13 @@ type QueueConfig struct {
 	// throughput scales with min(InFlight, Conns); see
 	// docs/ARCHITECTURE.md.
 	InFlight int
+	// Adaptive, when non-nil, sizes the pipeline window (and, once
+	// attached to the replica's pool, the connection target) at runtime
+	// from observed batch latency, throughput, and pool telemetry;
+	// InFlight is then ignored in favor of the controller's bounds. Nil
+	// keeps the static window above — the paper-figure configuration.
+	// One Adaptive belongs to exactly one queue.
+	Adaptive *Adaptive
 }
 
 // Queue is the adaptive batching queue for one model-container replica
@@ -76,7 +83,9 @@ type Queue struct {
 	in       chan *request
 	stop     chan struct{}
 	done     chan struct{}
-	inflight chan struct{} // pipeline window semaphore
+	inflight chan struct{} // pipeline window semaphore (static path)
+	win      *winSem       // resizable window (adaptive path; inflight is nil)
+	adapt    *Adaptive
 	wg       sync.WaitGroup
 
 	// submitMu fences submission against Close: submitters hold it (read
@@ -115,11 +124,17 @@ func NewQueue(pred container.Predictor, cfg QueueConfig) *Queue {
 		in:           make(chan *request, depth),
 		stop:         make(chan struct{}),
 		done:         make(chan struct{}),
-		inflight:     make(chan struct{}, window),
+		adapt:        cfg.Adaptive,
 		BatchLatency: metrics.NewHistogram(),
 		BatchSizes:   metrics.NewHistogram(),
 		QueueDelay:   metrics.NewHistogram(),
 		Throughput:   metrics.NewMeter(),
+	}
+	if cfg.Adaptive != nil {
+		q.win = newWinSem(cfg.Adaptive.Window())
+		cfg.Adaptive.bindWindow(q.win)
+	} else {
+		q.inflight = make(chan struct{}, window)
 	}
 	go q.dispatchLoop()
 	return q
@@ -128,8 +143,18 @@ func NewQueue(pred container.Predictor, cfg QueueConfig) *Queue {
 // Controller returns the queue's batch-size controller.
 func (q *Queue) Controller() Controller { return q.ctrl }
 
-// InFlight returns the queue's dispatch pipeline window.
-func (q *Queue) InFlight() int { return cap(q.inflight) }
+// InFlight returns the queue's dispatch pipeline window — the static
+// configuration, or the adaptive controller's current target.
+func (q *Queue) InFlight() int {
+	if q.win != nil {
+		return q.win.curLimit()
+	}
+	return cap(q.inflight)
+}
+
+// Adaptive returns the queue's window/pool controller (nil when the
+// window is static).
+func (q *Queue) Adaptive() *Adaptive { return q.adapt }
 
 // Submit enqueues x and blocks until its prediction is rendered, the
 // context is cancelled, or the queue closes.
@@ -173,7 +198,12 @@ func (q *Queue) SubmitAsync(ctx context.Context, x []float64) (<-chan Result, er
 // Close stops the dispatcher, waits for in-flight batches to deliver, and
 // fails queued requests with ErrQueueClosed.
 func (q *Queue) Close() {
-	q.stopOnce.Do(func() { close(q.stop) })
+	q.stopOnce.Do(func() {
+		close(q.stop)
+		if q.win != nil {
+			q.win.close() // unblock a collector waiting on the window
+		}
+	})
 	// Wait out submitters racing the close: stop is closed, so blocked
 	// senders exit promptly, and any send that already committed is in
 	// q.in by the time we hold the write lock.
@@ -183,6 +213,29 @@ func (q *Queue) Close() {
 	// The dispatcher drained what it saw before exiting; catch requests
 	// whose send committed after that drain.
 	q.drainClosed()
+}
+
+// acquireSlot reserves one pipeline slot, reporting false when the queue
+// is stopping.
+func (q *Queue) acquireSlot() bool {
+	if q.win != nil {
+		return q.win.acquire()
+	}
+	select {
+	case q.inflight <- struct{}{}:
+		return true
+	case <-q.stop:
+		return false
+	}
+}
+
+// releaseSlot returns a pipeline slot.
+func (q *Queue) releaseSlot() {
+	if q.win != nil {
+		q.win.release()
+		return
+	}
+	<-q.inflight
 }
 
 // dispatchLoop is the pipeline's collector stage: it assembles batches and
@@ -197,9 +250,7 @@ func (q *Queue) dispatchLoop() {
 		// slot, so this unblocks as soon as the oldest in-flight batch
 		// completes. At InFlight=1 this is exactly the serial dispatcher:
 		// collection for batch n+1 cannot begin until batch n returns.
-		select {
-		case q.inflight <- struct{}{}:
-		case <-q.stop:
+		if !q.acquireSlot() {
 			q.drainClosed()
 			q.wg.Wait() // in-flight batches still deliver their results
 			return
@@ -210,24 +261,31 @@ func (q *Queue) dispatchLoop() {
 		select {
 		case first = <-q.in:
 		case <-q.stop:
-			<-q.inflight
+			q.releaseSlot()
 			q.drainClosed()
 			q.wg.Wait() // in-flight batches still deliver their results
 			return
 		}
 		batch := q.collect(first)
-		if cap(q.inflight) == 1 {
+		serial := cap(q.inflight) == 1
+		if q.win != nil {
+			// An adaptive window that has converged to 1 is serial too;
+			// if the limit grows mid-batch, parallelism resumes with the
+			// next batch.
+			serial = q.win.curLimit() == 1
+		}
+		if serial {
 			// Serial window: the collector holds the only slot, so run the
 			// batch inline instead of paying a goroutine spawn per batch —
 			// this is exactly the paper's one-batch-at-a-time dispatcher.
 			q.runBatch(batch)
-			<-q.inflight
+			q.releaseSlot()
 			continue
 		}
 		q.wg.Add(1)
 		go func() {
 			defer q.wg.Done()
-			defer func() { <-q.inflight }()
+			defer q.releaseSlot()
 			q.runBatch(batch)
 		}()
 	}
@@ -250,6 +308,11 @@ func (q *Queue) runBatch(batch []*request) {
 	preds, err := q.predictBatch(xs)
 	lat := time.Since(start)
 	q.ctrl.Observe(len(batch), lat)
+	if q.adapt != nil {
+		// The controller resizes the bound window semaphore itself,
+		// inside its own critical section.
+		q.adapt.ObserveBatch(len(batch), lat)
+	}
 	q.BatchLatency.ObserveDuration(lat)
 	q.BatchSizes.Observe(float64(len(batch)))
 	q.Throughput.Mark(int64(len(batch)))

@@ -140,6 +140,45 @@ func (r *Remote) Ping(ctx context.Context) error {
 	return r.client.Ping(ctx)
 }
 
+// PoolStats snapshots the replica's connection telemetry. A pooled Remote
+// reports its rpc.Pool aggregate; a single-connection Remote reports a
+// pool-of-one view synthesized from its client, so consumers (the
+// adaptive controller, the admin replicas endpoint) see one shape either
+// way.
+func (r *Remote) PoolStats() rpc.PoolStats {
+	switch c := r.client.(type) {
+	case *rpc.Pool:
+		return c.Stats()
+	case *rpc.Client:
+		cs := c.Stats()
+		st := rpc.PoolStats{
+			Conns:         1,
+			Target:        1,
+			BytesInFlight: cs.BytesInFlight,
+			Writes:        cs.Writes,
+			WriteQueued:   cs.WriteQueued,
+			WriteWait:     cs.WriteWait,
+		}
+		if cs.Alive {
+			st.Live = 1
+		}
+		return st
+	default:
+		return rpc.PoolStats{}
+	}
+}
+
+// SetPoolTarget sets the connection pool's routing target, clamped to
+// [1, Conns], and returns the applied value. On a single-connection
+// Remote it is a no-op returning 1. This is the adaptive controller's
+// pool control surface (batching.PoolTuner).
+func (r *Remote) SetPoolTarget(n int) int {
+	if p, ok := r.client.(*rpc.Pool); ok {
+		return p.SetTarget(n)
+	}
+	return 1
+}
+
 // Close tears down the connection.
 func (r *Remote) Close() error {
 	r.mu.Lock()

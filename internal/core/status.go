@@ -1,0 +1,57 @@
+package core
+
+import (
+	"clipper/internal/rpc"
+)
+
+// PoolStatser is implemented by predictors whose replica exposes RPC
+// connection telemetry (container.Remote does, pooled or not).
+type PoolStatser interface {
+	PoolStats() rpc.PoolStats
+}
+
+// ReplicaStatus is one replica's operational snapshot: health, pipeline
+// window, and connection-pool state. A replica with LiveConns <
+// TotalConns is degraded — still serving on the surviving connections,
+// but with less wire parallelism and one failure closer to outage — which
+// the plain healthy bit cannot express.
+type ReplicaStatus struct {
+	ID      string `json:"id"`
+	Healthy bool   `json:"healthy"`
+	// InFlight is the replica queue's current dispatch pipeline window
+	// (the adaptive controller's live target when Adaptive).
+	InFlight int  `json:"in_flight"`
+	Adaptive bool `json:"adaptive"`
+	// LiveConns / TotalConns report the RPC pool: live connections vs
+	// dialed slots. Zero TotalConns means the replica is in-process (no
+	// RPC pool to report).
+	LiveConns  int `json:"live_conns"`
+	TotalConns int `json:"total_conns"`
+	// TargetConns is the pool's routing target (the adaptive controller's
+	// live Conns choice; equals TotalConns for static pools).
+	TargetConns int `json:"target_conns"`
+}
+
+// ReplicaStatuses reports each replica's status for a model, keyed by
+// replica ID. Unknown models yield an empty map.
+func (cl *Clipper) ReplicaStatuses(model string) map[string]ReplicaStatus {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	out := make(map[string]ReplicaStatus, len(cl.queues[model]))
+	for _, rq := range cl.queues[model] {
+		st := ReplicaStatus{
+			ID:       rq.replica.ID,
+			Healthy:  rq.health.healthy.Load(),
+			InFlight: rq.queue.InFlight(),
+			Adaptive: rq.queue.Adaptive() != nil,
+		}
+		if ps, ok := rq.replica.Pred.(PoolStatser); ok {
+			s := ps.PoolStats()
+			st.LiveConns = s.Live
+			st.TotalConns = s.Conns
+			st.TargetConns = s.Target
+		}
+		out[rq.replica.ID] = st
+	}
+	return out
+}

@@ -7,14 +7,15 @@ import (
 
 	"clipper/internal/batching"
 	"clipper/internal/container"
+	"clipper/internal/core"
 )
 
 // Admin endpoints let operators evolve a running Clipper node — the
 // paper's core deployment story ("new models and frameworks can be
 // introduced without modifying end-user applications"):
 //
-//	POST /api/v1/admin/deploy   {"addr","slo_ms","conns"}  dial + deploy a container
-//	GET  /api/v1/admin/replicas?model=<name>       replica health
+//	POST /api/v1/admin/deploy   {"addr","slo_ms","conns","adaptive",...}  dial + deploy a container
+//	GET  /api/v1/admin/replicas?model=<name>       replica status (health, conns, window)
 //	POST /api/v1/admin/health   {"replica","healthy"}
 
 // DeployRequest is the JSON body of POST /api/v1/admin/deploy.
@@ -26,8 +27,22 @@ type DeployRequest struct {
 	// BatchTimeoutMicros optionally enables delayed batching.
 	BatchTimeoutMicros int `json:"batch_timeout_us,omitempty"`
 	// Conns sets the replica's RPC connection pool size; 0 or 1 selects
-	// the single-connection client (see docs/ARCHITECTURE.md).
+	// the single-connection client (see docs/ARCHITECTURE.md). With
+	// Adaptive it is the pool's upper bound.
 	Conns int `json:"conns,omitempty"`
+	// InFlight pins the dispatch pipeline window; 0 selects the default
+	// (ignored when Adaptive).
+	InFlight int `json:"in_flight,omitempty"`
+	// Adaptive sizes the pipeline window and the pool's routing target at
+	// runtime instead of pinning them (see docs/ARCHITECTURE.md).
+	Adaptive bool `json:"adaptive,omitempty"`
+	// MinInFlight / MaxInFlight bound the adaptive window; 0 selects the
+	// controller defaults (1 and 64).
+	MinInFlight int `json:"min_in_flight,omitempty"`
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+	// MinConns bounds the adaptive pool target from below; 0 selects 1.
+	// The upper bound is Conns.
+	MinConns int `json:"min_conns,omitempty"`
 }
 
 // DeployResponse reports the deployed replica.
@@ -77,10 +92,19 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 	if slo <= 0 {
 		slo = 20 * time.Millisecond
 	}
-	rep, err := s.clipper.Deploy(remote, func() { remote.Close() }, batching.QueueConfig{
+	qcfg := batching.QueueConfig{
 		Controller:   batching.NewAIMD(batching.AIMDConfig{SLO: slo}),
 		BatchTimeout: time.Duration(req.BatchTimeoutMicros) * time.Microsecond,
-	})
+		InFlight:     req.InFlight,
+	}
+	if req.Adaptive {
+		qcfg.Adaptive = batching.NewAdaptive(batching.AdaptiveConfig{
+			MinInFlight: req.MinInFlight,
+			MaxInFlight: req.MaxInFlight,
+			MinConns:    req.MinConns,
+		})
+	}
+	rep, err := s.clipper.Deploy(remote, func() { remote.Close() }, qcfg)
 	if err != nil {
 		remote.Close()
 		writeError(w, http.StatusConflict, err.Error())
@@ -92,18 +116,23 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReplicas reports per-replica status: the health bit plus the RPC
+// pool's live/total/target connections and the queue's current pipeline
+// window. A degraded replica — some but not all pooled connections down —
+// shows live_conns < total_conns while still reporting healthy, so
+// operators see it before it fails outright.
 func (s *Server) handleReplicas(w http.ResponseWriter, r *http.Request) {
 	model := r.URL.Query().Get("model")
 	if model == "" {
 		// All models.
-		out := map[string]map[string]bool{}
+		out := map[string]map[string]core.ReplicaStatus{}
 		for _, m := range s.clipper.Models() {
-			out[m] = s.clipper.ReplicaHealth(m)
+			out[m] = s.clipper.ReplicaStatuses(m)
 		}
 		writeJSON(w, http.StatusOK, out)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.clipper.ReplicaHealth(model))
+	writeJSON(w, http.StatusOK, s.clipper.ReplicaStatuses(model))
 }
 
 func (s *Server) handleHealth403OrSet(w http.ResponseWriter, r *http.Request) {

@@ -3,12 +3,19 @@ package frontend
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
+	"time"
 
+	"clipper/internal/batching"
 	"clipper/internal/container"
 	"clipper/internal/core"
+	"clipper/internal/rpc"
 	"clipper/internal/selection"
 )
 
@@ -91,16 +98,23 @@ func TestAdminReplicasEndpoint(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d", rec.Code)
 	}
-	var health map[string]bool
-	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+	var statuses map[string]core.ReplicaStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &statuses); err != nil {
 		t.Fatal(err)
 	}
-	if len(health) != 1 {
-		t.Fatalf("health = %v", health)
+	if len(statuses) != 1 {
+		t.Fatalf("statuses = %v", statuses)
 	}
-	for _, ok := range health {
-		if !ok {
+	for _, st := range statuses {
+		if !st.Healthy {
 			t.Fatal("fresh replica should be healthy")
+		}
+		if st.InFlight != batching.DefaultInFlight {
+			t.Fatalf("in_flight = %d, want default %d", st.InFlight, batching.DefaultInFlight)
+		}
+		// In-process replicas have no RPC pool to report.
+		if st.TotalConns != 0 || st.Adaptive {
+			t.Fatalf("in-process replica status = %+v", st)
 		}
 	}
 
@@ -108,12 +122,166 @@ func TestAdminReplicasEndpoint(t *testing.T) {
 	req = httptest.NewRequest(http.MethodGet, "/api/v1/admin/replicas", nil)
 	rec = httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
-	var all map[string]map[string]bool
+	var all map[string]map[string]core.ReplicaStatus
 	if err := json.Unmarshal(rec.Body.Bytes(), &all); err != nil {
 		t.Fatal(err)
 	}
 	if len(all) != 2 {
 		t.Fatalf("all = %v", all)
+	}
+}
+
+// TestAdminReplicasDegradedPool is the pool-aware health regression test:
+// a replica that lost 1 of its 2 pooled connections must surface
+// live_conns < total_conns through the replicas endpoint — visible
+// degradation — while still reporting healthy and serving predictions on
+// the surviving connection.
+func TestAdminReplicasDegradedPool(t *testing.T) {
+	s, cl := newTestServer(t)
+	h := s.Handler()
+
+	pred := &fixedModel{name: "pooled", label: 9}
+	srv := rpc.NewServer(container.Handler(pred))
+	defer srv.Close()
+	var mu sync.Mutex
+	var serverEnds []net.Conn
+	dials := 0
+	dial := func() (io.ReadWriteCloser, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if dials >= 2 {
+			// The lost connection must stay lost: fail redials so the
+			// degraded state is stable for the test to observe.
+			return nil, errors.New("container restarting")
+		}
+		dials++
+		cliEnd, srvEnd := net.Pipe()
+		serverEnds = append(serverEnds, srvEnd)
+		go srv.ServeConn(srvEnd)
+		return cliEnd, nil
+	}
+	remote, err := container.NewRemotePool(dial, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Deploy(remote, func() { remote.Close() },
+		batching.QueueConfig{Controller: batching.NewFixed(4)}); err != nil {
+		t.Fatal(err)
+	}
+	app, err := cl.RegisterApp(core.AppConfig{
+		Name: "pooled-app", Models: []string{"pooled"}, Policy: selection.NewStatic(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	getStatus := func() core.ReplicaStatus {
+		t.Helper()
+		req := httptest.NewRequest(http.MethodGet, "/api/v1/admin/replicas?model=pooled", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("replicas status = %d", rec.Code)
+		}
+		var statuses map[string]core.ReplicaStatus
+		if err := json.Unmarshal(rec.Body.Bytes(), &statuses); err != nil {
+			t.Fatal(err)
+		}
+		if len(statuses) != 1 {
+			t.Fatalf("statuses = %v", statuses)
+		}
+		for _, st := range statuses {
+			return st
+		}
+		panic("unreachable")
+	}
+
+	if st := getStatus(); st.LiveConns != 2 || st.TotalConns != 2 {
+		t.Fatalf("fresh pooled replica status = %+v, want 2/2 conns", st)
+	}
+
+	// Kill one of the two pooled connections.
+	mu.Lock()
+	serverEnds[0].Close()
+	mu.Unlock()
+	deadline := time.Now().Add(2 * time.Second)
+	for getStatus().LiveConns != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("degradation never surfaced: %+v", getStatus())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := getStatus()
+	if st.TotalConns != 2 {
+		t.Fatalf("total_conns = %d, want 2", st.TotalConns)
+	}
+	if !st.Healthy {
+		t.Fatalf("degraded replica should still be healthy: %+v", st)
+	}
+
+	// And it still serves on the surviving connection. One prediction may
+	// fail if it was in flight on the dying connection; retry once.
+	presp, err := app.Predict(context.Background(), []float64{1})
+	if err != nil {
+		presp, err = app.Predict(context.Background(), []float64{1})
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if presp.Label != 9 {
+		t.Fatalf("label = %d, want 9", presp.Label)
+	}
+}
+
+// TestAdminDeployAdaptive deploys a container with the adaptive
+// controller enabled and checks the replicas endpoint reports it.
+func TestAdminDeployAdaptive(t *testing.T) {
+	s, cl := newTestServer(t)
+	h := s.Handler()
+
+	addr, srv, err := container.Serve(&fixedModel{name: "adaptive-model", label: 3}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	rec := postJSON(t, h, "/api/v1/admin/deploy", DeployRequest{
+		Addr: addr, SLOMillis: 10, Conns: 2,
+		Adaptive: true, MinInFlight: 1, MaxInFlight: 8,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("adaptive deploy status = %d body=%s", rec.Code, rec.Body)
+	}
+	statuses := cl.ReplicaStatuses("adaptive-model")
+	if len(statuses) != 1 {
+		t.Fatalf("statuses = %v", statuses)
+	}
+	for _, st := range statuses {
+		if !st.Adaptive {
+			t.Fatalf("replica not adaptive: %+v", st)
+		}
+		if st.TotalConns != 2 {
+			t.Fatalf("total_conns = %d, want 2", st.TotalConns)
+		}
+		if st.TargetConns != 1 {
+			t.Fatalf("target_conns = %d, want initial MinConns 1", st.TargetConns)
+		}
+		if st.InFlight < 1 || st.InFlight > 8 {
+			t.Fatalf("in_flight = %d out of bounds", st.InFlight)
+		}
+	}
+	app, err := cl.RegisterApp(core.AppConfig{
+		Name: "adaptive-app", Models: []string{"adaptive-model"}, Policy: selection.NewStatic(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp, err := app.Predict(context.Background(), []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if presp.Label != 3 {
+		t.Fatalf("label = %d, want 3", presp.Label)
 	}
 }
 

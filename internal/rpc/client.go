@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,6 +19,15 @@ type Client struct {
 
 	writeMu sync.Mutex
 
+	// Connection telemetry (see Stats). The contended-write counters are
+	// only touched when a Call actually queues behind another in-progress
+	// frame write, so the uncontended hot path pays one TryLock and two
+	// atomic adds.
+	bytesInFlight atomic.Int64 // payload bytes currently being written
+	writes        atomic.Int64 // request frames written
+	writeQueued   atomic.Int64 // writes that waited behind another write
+	writeWaitNS   atomic.Int64 // total ns spent waiting behind writes
+
 	done     chan struct{} // closed when the client dies (read failure or Close)
 	doneOnce sync.Once
 
@@ -26,6 +36,36 @@ type Client struct {
 	nextID  uint64
 	closed  bool
 	readErr error
+}
+
+// ConnStats is a point-in-time snapshot of one connection's write-side
+// telemetry. The counters are cumulative over the connection's lifetime;
+// consumers (the adaptive controller, the admin API) difference successive
+// snapshots to derive rates.
+type ConnStats struct {
+	// Alive reports whether the connection is still serving calls.
+	Alive bool
+	// BytesInFlight is the payload bytes being written at snapshot time.
+	BytesInFlight int64
+	// Writes is the number of request frames written.
+	Writes int64
+	// WriteQueued is the number of writes that queued behind another
+	// in-progress frame write — the head-of-line signal that a link is
+	// transfer-bound.
+	WriteQueued int64
+	// WriteWait is the total time writes spent queued behind other writes.
+	WriteWait time.Duration
+}
+
+// Stats snapshots the connection's write-side telemetry.
+func (c *Client) Stats() ConnStats {
+	return ConnStats{
+		Alive:         c.alive(),
+		BytesInFlight: c.bytesInFlight.Load(),
+		Writes:        c.writes.Load(),
+		WriteQueued:   c.writeQueued.Load(),
+		WriteWait:     time.Duration(c.writeWaitNS.Load()),
+	}
 }
 
 // ErrClientClosed is returned by calls issued after Close (or after the
@@ -136,8 +176,19 @@ func (c *Client) Call(ctx context.Context, method Method, payload []byte) ([]byt
 	c.mu.Unlock()
 
 	req := &Frame{ID: id, Type: MsgRequest, Method: method, Payload: payload}
-	c.writeMu.Lock()
+	// TryLock first so the telemetry is free when the write path is
+	// uncontended; only a call that actually queues behind another frame
+	// write pays for the clock reads.
+	if !c.writeMu.TryLock() {
+		waitStart := time.Now()
+		c.writeMu.Lock()
+		c.writeWaitNS.Add(int64(time.Since(waitStart)))
+		c.writeQueued.Add(1)
+	}
+	c.bytesInFlight.Add(int64(len(payload)))
 	err := WriteFrame(c.conn, req)
+	c.bytesInFlight.Add(-int64(len(payload)))
+	c.writes.Add(1)
 	c.writeMu.Unlock()
 	if err != nil {
 		c.mu.Lock()

@@ -70,13 +70,83 @@ type PoolConfig struct {
 type Pool struct {
 	cfg PoolConfig
 
-	rr    atomic.Uint64
-	slots []atomic.Pointer[Client]
+	rr     atomic.Uint64
+	slots  []atomic.Pointer[Client]
+	target atomic.Int32 // routing target: new calls prefer slots[0:target]
 
 	stop      chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 }
+
+// PoolStats is a point-in-time snapshot of the pool's connection and
+// write-side telemetry, aggregated across every slot. The cumulative
+// counters (Writes, WriteQueued, WriteWait) reset for a slot when its
+// connection dies and is redialed; consumers differencing snapshots should
+// clamp negative deltas to zero.
+type PoolStats struct {
+	// Conns is the total slot count (PoolConfig.Conns).
+	Conns int
+	// Live is the number of slots holding a live connection.
+	Live int
+	// Target is the routing target set by SetTarget; new calls prefer the
+	// first Target slots.
+	Target int
+	// BytesInFlight is the payload bytes being written across all live
+	// connections at snapshot time.
+	BytesInFlight int64
+	// Writes is the total request frames written across live connections.
+	Writes int64
+	// WriteQueued counts writes that queued behind another in-progress
+	// frame write — the signal that batches are transfer-bound.
+	WriteQueued int64
+	// WriteWait is the total time writes spent queued behind other writes.
+	WriteWait time.Duration
+}
+
+// Stats snapshots the pool's aggregate telemetry.
+func (p *Pool) Stats() PoolStats {
+	st := PoolStats{
+		Conns:  len(p.slots),
+		Target: int(p.target.Load()),
+	}
+	for i := range p.slots {
+		c := p.slots[i].Load()
+		if c == nil {
+			continue
+		}
+		cs := c.Stats()
+		if cs.Alive {
+			st.Live++
+		}
+		st.BytesInFlight += cs.BytesInFlight
+		st.Writes += cs.Writes
+		st.WriteQueued += cs.WriteQueued
+		st.WriteWait += cs.WriteWait
+	}
+	return st
+}
+
+// SetTarget sets the routing target: new calls round-robin over the first
+// n slots (clamped to [1, Conns]) and only spill past them when none of
+// those connections are live. Connections above the target stay open and
+// keep their redial monitors — growing the target back is instant, with no
+// redial churn — they just stop receiving new calls. Returns the applied
+// target. The adaptive controller drives this between its bounds; static
+// deployments never call it and route across every slot.
+func (p *Pool) SetTarget(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(p.slots) {
+		n = len(p.slots)
+	}
+	p.target.Store(int32(n))
+	return n
+}
+
+// Target returns the current routing target.
+func (p *Pool) Target() int { return int(p.target.Load()) }
 
 // NewPool dials cfg.Conns connections and starts their redial monitors.
 // Construction is all-or-nothing: if any initial dial fails, the already
@@ -99,6 +169,7 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 		slots: make([]atomic.Pointer[Client], cfg.Conns),
 		stop:  make(chan struct{}),
 	}
+	p.target.Store(int32(cfg.Conns))
 	for i := range p.slots {
 		conn, err := cfg.Dial()
 		if err != nil {
@@ -181,16 +252,24 @@ func (p *Pool) monitor(i int) {
 	}
 }
 
-// pick returns the next live connection, round-robin. Clients already
-// known dead (their monitor hasn't swapped the slot yet) are skipped; a
-// connection that dies between pick and use still fails the call, exactly
-// as a single-connection client would, and callers above the RPC layer
-// already handle call errors.
+// pick returns the next live connection, round-robin over the first
+// Target slots. Clients already known dead (their monitor hasn't swapped
+// the slot yet) are skipped; a connection that dies between pick and use
+// still fails the call, exactly as a single-connection client would, and
+// callers above the RPC layer already handle call errors. When no
+// connection inside the target is live, pick spills to the parked slots
+// above it — a shrunken pool still prefers availability over its target.
 func (p *Pool) pick() (*Client, error) {
 	n := len(p.slots)
-	i := int(p.rr.Add(1) % uint64(n))
-	for probe := 0; probe < n; probe++ {
-		if c := p.slots[(i+probe)%n].Load(); c != nil && c.alive() {
+	t := int(p.target.Load())
+	i := int(p.rr.Add(1) % uint64(t))
+	for probe := 0; probe < t; probe++ {
+		if c := p.slots[(i+probe)%t].Load(); c != nil && c.alive() {
+			return c, nil
+		}
+	}
+	for s := t; s < n; s++ {
+		if c := p.slots[s].Load(); c != nil && c.alive() {
 			return c, nil
 		}
 	}

@@ -1,0 +1,173 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// slowWriteConn delays every write, holding the client's write mutex long
+// enough that concurrent calls observably queue behind each other.
+type slowWriteConn struct {
+	net.Conn
+	delay time.Duration
+}
+
+func (c *slowWriteConn) Write(p []byte) (int, error) {
+	time.Sleep(c.delay)
+	return c.Conn.Write(p)
+}
+
+func TestClientWriteQueueStats(t *testing.T) {
+	srv := NewServer(echoHandler)
+	defer srv.Close()
+	cli, conn := net.Pipe()
+	go srv.ServeConn(conn)
+	c := NewClient(&slowWriteConn{Conn: cli, delay: 2 * time.Millisecond})
+	defer c.Close()
+
+	const calls = 4
+	var wg sync.WaitGroup
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Call(context.Background(), MethodPredict, []byte("x")); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	if !st.Alive {
+		t.Fatal("client should be alive")
+	}
+	if st.Writes != calls {
+		t.Fatalf("Writes = %d, want %d", st.Writes, calls)
+	}
+	// With a 2ms write hold and 4 concurrent calls, at least the last
+	// writer queued behind an in-progress write.
+	if st.WriteQueued < 1 {
+		t.Fatalf("WriteQueued = %d, want >= 1", st.WriteQueued)
+	}
+	if st.WriteWait <= 0 {
+		t.Fatalf("WriteWait = %v, want > 0", st.WriteWait)
+	}
+	if st.BytesInFlight != 0 {
+		t.Fatalf("BytesInFlight = %d after all calls returned", st.BytesInFlight)
+	}
+}
+
+func TestPoolStatsAggregatesSlots(t *testing.T) {
+	d := newPipeDialer(echoHandler)
+	p := newTestPool(t, d, 3)
+
+	const calls = 9
+	for i := 0; i < calls; i++ {
+		if _, err := p.Call(context.Background(), MethodPredict, []byte("hi")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.Conns != 3 || st.Live != 3 || st.Target != 3 {
+		t.Fatalf("stats = %+v, want Conns=3 Live=3 Target=3", st)
+	}
+	if st.Writes != calls {
+		t.Fatalf("Writes = %d, want %d", st.Writes, calls)
+	}
+
+	// Kill one connection and block its redial: Live drops below Conns —
+	// the degraded-replica signal the admin API surfaces.
+	d.setFail(errors.New("no redial"))
+	d.kill(0)
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Stats().Live != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("Live = %d, want 2", p.Stats().Live)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := p.Stats(); st.Conns != 3 {
+		t.Fatalf("Conns = %d after loss, want 3", st.Conns)
+	}
+}
+
+func TestPoolSetTargetRoutesToPrefix(t *testing.T) {
+	d := newPipeDialer(echoHandler)
+	p := newTestPool(t, d, 3)
+
+	if got := p.SetTarget(0); got != 1 {
+		t.Fatalf("SetTarget(0) = %d, want clamp to 1", got)
+	}
+	if got := p.SetTarget(99); got != 3 {
+		t.Fatalf("SetTarget(99) = %d, want clamp to 3", got)
+	}
+
+	p.SetTarget(1)
+	before := make([]int64, 3)
+	for i := range before {
+		before[i] = p.slots[i].Load().Stats().Writes
+	}
+	const calls = 6
+	for i := 0; i < calls; i++ {
+		if _, err := p.Call(context.Background(), MethodPredict, []byte("hi")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range before {
+		got := p.slots[i].Load().Stats().Writes - before[i]
+		want := int64(0)
+		if i == 0 {
+			want = calls
+		}
+		if got != want {
+			t.Fatalf("slot %d served %d writes, want %d", i, got, want)
+		}
+	}
+
+	// Growing the target back is instant: the parked connections never
+	// closed, so no redial happened.
+	dialed := d.dialed()
+	p.SetTarget(3)
+	for i := 0; i < calls; i++ {
+		if _, err := p.Call(context.Background(), MethodPredict, []byte("hi")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.dialed() != dialed {
+		t.Fatalf("regrow redialed: %d dials, want %d", d.dialed(), dialed)
+	}
+	for i := range before {
+		if p.slots[i].Load().Stats().Writes == before[i] && i != 0 {
+			t.Fatalf("slot %d idle after target regrew", i)
+		}
+	}
+}
+
+func TestPoolSpillsPastDeadTarget(t *testing.T) {
+	d := newPipeDialer(echoHandler)
+	p := newTestPool(t, d, 2)
+	p.SetTarget(1)
+
+	// Kill the only in-target connection and block redial: calls must
+	// spill to the parked slot rather than fail with ErrNoConns.
+	d.setFail(errors.New("no redial"))
+	d.kill(0)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := p.Call(context.Background(), MethodPredict, []byte("hi")); err == nil {
+			break
+		} else if !errors.Is(err, io.ErrClosedPipe) && !errors.Is(err, io.EOF) && !errors.Is(err, ErrNoConns) {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("calls never spilled past the dead target slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -9,7 +9,5 @@
 #   go test -run='^$' -bench=BenchmarkDispatchPipeline ./internal/batching/
 #   go test -run='^$' -bench='WriteFrame|Batch|Predictions' -benchmem \
 #       ./internal/rpc/ ./internal/container/
-set -eu
-cd "$(dirname "$0")/.."
-go run ./cmd/bench -perf BENCH_PR2.json
-echo "wrote $(pwd)/BENCH_PR2.json"
+. "$(dirname "$0")/bench_lib.sh"
+run_perf BENCH_PR2.json -id pr2-pipeline

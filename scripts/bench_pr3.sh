@@ -10,7 +10,5 @@
 #   go test -run='^$' -bench='DispatchPipeline|PoolPipeline' ./internal/batching/
 #   go test -run='^$' -bench='WriteFrame|ReadFrame|Batch|Predictions' -benchmem \
 #       ./internal/rpc/ ./internal/container/
-set -eu
-cd "$(dirname "$0")/.."
-go run ./cmd/bench -perf BENCH_PR3.json
-echo "wrote $(pwd)/BENCH_PR3.json"
+. "$(dirname "$0")/bench_lib.sh"
+run_perf BENCH_PR3.json -id pr3-rpc-pool

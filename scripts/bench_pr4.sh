@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# bench_pr4.sh — record the PR 4 performance trajectory.
+#
+# Runs the hot-path perf suite — dispatch pipeline throughput, the static
+# InFlight×Conns pool matrix, and the adaptive InFlight/Conns control
+# loop's convergence against transfer-bound and compute-bound simulated
+# containers — and writes the JSON report to BENCH_PR4.json at the repo
+# root. The adaptive rows record the controller's final operating point
+# (adaptive_*_final_inflight / _final_conns) and adaptive_vs_static_best
+# compares its throughput against the best hand-tuned static setting
+# measured in the same run. The same quantities are available as
+# `go test -bench` benchmarks:
+#
+#   go test -run='^$' -bench='DispatchPipeline|PoolPipeline|AdaptivePipeline' \
+#       ./internal/batching/
+. "$(dirname "$0")/bench_lib.sh"
+run_perf BENCH_PR4.json -id pr4-adaptive
+check_report BENCH_PR4.json
