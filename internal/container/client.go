@@ -83,7 +83,8 @@ func newRemote(c rpc.Caller) (*Remote, error) {
 		c.Close()
 		return nil, err
 	}
-	info, err := DecodeInfo(raw)
+	info, err := DecodeInfo(raw.Data)
+	raw.Release() // DecodeInfo copied everything out
 	if err != nil {
 		c.Close()
 		return nil, err
@@ -109,6 +110,26 @@ var encBufPool = sync.Pool{
 	},
 }
 
+// maxPooledEncBuf caps the encode buffers encBufPool retains. One huge
+// batch grows its buffer to match, and a pooled buffer never shrinks —
+// without the cap a single outlier batch would pin megabytes in the pool
+// for the life of the process (the rpc body pools apply the same rule on
+// the read side).
+const maxPooledEncBuf = 1 << 20
+
+// putEncBuf returns an encode buffer to encBufPool, unless the batch just
+// encoded grew it past maxPooledEncBuf — oversized buffers are dropped for
+// the GC and the pool refills with default-sized ones. Reports whether the
+// buffer was pooled (exercised by the retention regression test).
+func putEncBuf(buf *[]byte, b []byte) bool {
+	if cap(b) > maxPooledEncBuf {
+		return false
+	}
+	*buf = b[:0]
+	encBufPool.Put(buf)
+	return true
+}
+
 // PredictBatchContext is PredictBatch with caller-controlled cancellation.
 func (r *Remote) PredictBatchContext(ctx context.Context, xs [][]float64) ([]Prediction, error) {
 	r.mu.Lock()
@@ -120,12 +141,15 @@ func (r *Remote) PredictBatchContext(ctx context.Context, xs [][]float64) ([]Pre
 	buf := encBufPool.Get().(*[]byte)
 	payload := AppendBatch((*buf)[:0], xs)
 	raw, err := r.client.Call(ctx, rpc.MethodPredict, payload)
-	*buf = payload[:0]
-	encBufPool.Put(buf)
+	putEncBuf(buf, payload)
 	if err != nil {
 		return nil, err
 	}
-	preds, err := DecodePredictions(raw)
+	preds, err := DecodePredictions(raw.Data)
+	// Client-side release point: DecodePredictions copied every label and
+	// score out of the frame body, so the lease ends here — before
+	// validation, whose errors carry no reference to the payload.
+	raw.Release()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,111 @@
+package container
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// The codec decodes payloads that arrive off the network; hostile row
+// counts, truncated rows, and zero-length rows must only ever produce
+// errors — never panics or oversized allocations — and the zero-copy
+// BatchView decoder must accept and reject exactly the same inputs as
+// DecodeBatch, with identical values. CI runs each target with
+// -fuzz=FuzzDecode... -fuzztime=5s.
+
+func fuzzBatchCorpus(f *testing.F) {
+	f.Add([]byte{})                                   // empty buffer
+	f.Add([]byte{0, 0, 0, 0})                         // zero rows
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})             // hostile row count
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}) // two zero-length rows
+	f.Add(EncodeBatch([][]float64{{1, 2, 3}, {4, 5, 6}}))
+	f.Add(EncodeBatch([][]float64{{1}, {}, {2, 3}})) // ragged with empty row
+	full := EncodeBatch([][]float64{{1, 2, 3, 4}})
+	f.Add(full[:len(full)-3]) // truncated mid-row
+}
+
+func FuzzDecodeBatch(f *testing.F) {
+	fuzzBatchCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		xs, err := DecodeBatch(data)
+
+		// Cross-check the zero-copy decoder: same accept/reject decision,
+		// same shape, same values.
+		var v BatchView
+		verr := DecodeBatchView(data, &v)
+		if (err == nil) != (verr == nil) {
+			t.Fatalf("DecodeBatch err=%v but DecodeBatchView err=%v", err, verr)
+		}
+		if err != nil {
+			return
+		}
+		if v.Rows() != len(xs) {
+			t.Fatalf("view has %d rows, DecodeBatch %d", v.Rows(), len(xs))
+		}
+		for r := range xs {
+			row := v.Row(r)
+			if len(row) != len(xs[r]) {
+				t.Fatalf("row %d: view len %d, batch len %d", r, len(row), len(xs[r]))
+			}
+			for i := range row {
+				// Both decoders read the same bits through Float64frombits;
+				// NaNs (which compare unequal to themselves) count as equal
+				// by position.
+				if row[i] != xs[r][i] && !(math.IsNaN(row[i]) && math.IsNaN(xs[r][i])) {
+					t.Fatalf("row %d[%d]: view %v, batch %v", r, i, row[i], xs[r][i])
+				}
+			}
+		}
+		// A decoded batch must re-encode to a parseable payload of the
+		// same shape (not necessarily identical bytes: the decoder accepts
+		// trailing garbage the encoder never emits).
+		if _, err := DecodeBatch(EncodeBatch(xs)); err != nil {
+			t.Fatalf("re-encode round trip failed: %v", err)
+		}
+	})
+}
+
+func FuzzDecodePredictions(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // hostile count
+	f.Add(EncodePredictions([]Prediction{{Label: 1, Scores: []float64{0.5, 0.5}}}))
+	f.Add(EncodePredictions([]Prediction{{Label: -1}, {Label: 2}})) // label-only
+	full := EncodePredictions([]Prediction{{Label: 0, Scores: []float64{1, 2, 3}}})
+	f.Add(full[:len(full)-5]) // truncated scores
+	f.Fuzz(func(t *testing.T, data []byte) {
+		preds, err := DecodePredictions(data)
+		if err != nil {
+			return
+		}
+		reenc := EncodePredictions(preds)
+		back, err := DecodePredictions(reenc)
+		if err != nil {
+			t.Fatalf("re-encode round trip failed: %v", err)
+		}
+		if len(back) != len(preds) {
+			t.Fatalf("round trip count %d, want %d", len(back), len(preds))
+		}
+	})
+}
+
+// TestHostileRowCountDoesNotAllocate pins the validation order both batch
+// decoders share: a huge claimed row count over a tiny buffer must fail
+// in the header scan, before anything is sized from attacker-controlled
+// numbers.
+func TestHostileRowCountDoesNotAllocate(t *testing.T) {
+	hostile := []byte{0xff, 0xff, 0xff, 0x7f, 1, 2, 3, 4}
+	if _, err := DecodeBatch(hostile); err == nil {
+		t.Fatal("hostile row count accepted")
+	}
+	var v BatchView
+	if err := DecodeBatchView(hostile, &v); err == nil {
+		t.Fatal("hostile row count accepted by view decoder")
+	}
+	if v.Data != nil || v.offsets != nil {
+		t.Fatal("view decoder sized arrays from a hostile header")
+	}
+	if !bytes.Equal(hostile, []byte{0xff, 0xff, 0xff, 0x7f, 1, 2, 3, 4}) {
+		t.Fatal("decoder mutated its input")
+	}
+}

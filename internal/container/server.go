@@ -2,25 +2,59 @@ package container
 
 import (
 	"fmt"
+	"sync"
 
 	"clipper/internal/rpc"
 )
 
+// viewPool recycles the BatchViews the handler decodes tensor batches
+// into, so the steady-state tensor path allocates neither the view nor
+// (after warm-up) its backing arrays.
+var viewPool = sync.Pool{
+	New: func() any { return new(BatchView) },
+}
+
+// maxPooledViewFloats caps the backing arrays a pooled view may retain —
+// the same ~1 MiB retention rule as putEncBuf and the rpc body pools: a
+// single giant batch must not pin a giant tensor in the pool forever.
+// The offsets table is capped too (same element size): a batch of
+// millions of zero-length rows grows offsets, not Data.
+const maxPooledViewFloats = maxPooledEncBuf / 8
+
+func putView(v *BatchView) {
+	if cap(v.Data) > maxPooledViewFloats || cap(v.offsets) > maxPooledViewFloats {
+		return
+	}
+	viewPool.Put(v)
+}
+
 // Handler adapts a Predictor to the RPC server's handler signature,
-// implementing the container side of the narrow-waist protocol.
+// implementing the container side of the narrow-waist protocol. When p
+// also implements TensorPredictor, predict requests decode through the
+// zero-copy BatchView path; otherwise they take the [][]float64 path.
+// Either way the payload is fully copied out before the handler returns,
+// satisfying the rpc.Handler payload-lifetime contract.
 func Handler(p Predictor) rpc.Handler {
+	tp, _ := p.(TensorPredictor)
 	return func(method rpc.Method, payload []byte) ([]byte, error) {
 		switch method {
 		case rpc.MethodPredict:
+			// One Info lookup per batch. This used to sit inside the
+			// per-query dim-check loop — an interface call (and for some
+			// predictors a lock) per query on the hot path.
+			info := p.Info()
+			if tp != nil {
+				return predictTensor(tp, info, payload)
+			}
 			xs, err := DecodeBatch(payload)
 			if err != nil {
 				return nil, err
 			}
-			if dim := p.Info().InputDim; dim > 0 {
+			if dim := info.InputDim; dim > 0 {
 				for i, x := range xs {
 					if len(x) != dim {
 						return nil, fmt.Errorf("container: query %d has dim %d, model %s wants %d",
-							i, len(x), p.Info().Name, dim)
+							i, len(x), info.Name, dim)
 					}
 				}
 			}
@@ -38,6 +72,33 @@ func Handler(p Predictor) rpc.Handler {
 			return nil, fmt.Errorf("container: unknown method %d", method)
 		}
 	}
+}
+
+// predictTensor serves one predict request through the flat-tensor fast
+// path: payload → pooled BatchView → PredictTensor → encoded predictions.
+func predictTensor(tp TensorPredictor, info Info, payload []byte) ([]byte, error) {
+	v := viewPool.Get().(*BatchView)
+	defer putView(v)
+	if err := DecodeBatchView(payload, v); err != nil {
+		return nil, err
+	}
+	if dim := info.InputDim; dim > 0 && v.Rows() > 0 && v.Dim() != dim {
+		// Same error, same query index, as the [][]float64 path reports.
+		for i := 0; i < v.Rows(); i++ {
+			if n := len(v.Row(i)); n != dim {
+				return nil, fmt.Errorf("container: query %d has dim %d, model %s wants %d",
+					i, n, info.Name, dim)
+			}
+		}
+	}
+	preds, err := tp.PredictTensor(*v)
+	if err != nil {
+		return nil, err
+	}
+	if err := Validate(preds, v.Rows()); err != nil {
+		return nil, err
+	}
+	return EncodePredictions(preds), nil
 }
 
 // Serve hosts p as an RPC model container listening on addr (":0" picks a

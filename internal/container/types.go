@@ -64,6 +64,25 @@ type Predictor interface {
 	PredictBatch(xs [][]float64) ([]Prediction, error)
 }
 
+// TensorPredictor is optionally implemented by Predictors that can
+// consume a whole batch as a flat tensor. The RPC Handler (and therefore
+// every local Loopback deployment, which crosses the same codec) prefers
+// this path when the model implements it: the batch payload decodes
+// straight into a pooled BatchView via DecodeBatchView, skipping the
+// [][]float64 materialization entirely. Predictors that don't implement
+// it are served by the existing DecodeBatch path, unchanged.
+type TensorPredictor interface {
+	Predictor
+	// PredictTensor computes one prediction per row of v. The view — its
+	// Data and every Row slice — is valid only for the duration of the
+	// call: it is returned to a pool afterwards, so implementations must
+	// not retain it or alias its Data in the returned predictions.
+	// Like PredictBatch, it must return either v.Rows() predictions or an
+	// error, and must produce identical predictions to PredictBatch on
+	// the equivalent [][]float64 input.
+	PredictTensor(v BatchView) ([]Prediction, error)
+}
+
 // ErrContainerClosed is returned by predictions issued to a closed
 // container.
 var ErrContainerClosed = errors.New("container: closed")

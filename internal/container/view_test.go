@@ -1,0 +1,226 @@
+package container
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"clipper/internal/rpc"
+)
+
+func TestDecodeBatchViewRoundTrip(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      [][]float64
+		wantDim int
+	}{
+		{"uniform", [][]float64{{1, 2, 3}, {4, 5, 6}}, 3},
+		{"single", [][]float64{{math.Pi}}, 1},
+		{"ragged", [][]float64{{1, 2, 3}, {}, {-4.5, math.Pi}}, -1},
+		{"empty", nil, 0},
+		{"label-only", [][]float64{{}, {}}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var v BatchView
+			if err := DecodeBatchView(EncodeBatch(tc.in), &v); err != nil {
+				t.Fatal(err)
+			}
+			if v.Rows() != len(tc.in) {
+				t.Fatalf("Rows = %d, want %d", v.Rows(), len(tc.in))
+			}
+			if v.Dim() != tc.wantDim {
+				t.Fatalf("Dim = %d, want %d", v.Dim(), tc.wantDim)
+			}
+			for r := range tc.in {
+				got := v.Row(r)
+				if len(got) != len(tc.in[r]) {
+					t.Fatalf("row %d len = %d, want %d", r, len(got), len(tc.in[r]))
+				}
+				for i := range got {
+					if got[i] != tc.in[r][i] {
+						t.Fatalf("row %d[%d] = %v, want %v", r, i, got[i], tc.in[r][i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestDecodeBatchViewTruncated(t *testing.T) {
+	buf := EncodeBatch([][]float64{{1, 2, 3, 4}})
+	for _, cut := range []int{1, 3, 5, 9, len(buf) - 1} {
+		var v BatchView
+		if err := DecodeBatchView(buf[:cut], &v); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+// TestDecodeBatchViewReuse pins the zero-copy path's whole point: once
+// the view's backing arrays are warm, decoding any batch that fits them
+// allocates nothing.
+func TestDecodeBatchViewReuse(t *testing.T) {
+	big := EncodeBatch(benchRows(64, 128))
+	small := EncodeBatch(benchRows(3, 16))
+	var v BatchView
+	if err := DecodeBatchView(big, &v); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := DecodeBatchView(big, &v); err != nil {
+			t.Fatal(err)
+		}
+		if err := DecodeBatchView(small, &v); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state DecodeBatchView allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestDecodeBatchEmptyAllocs is the -benchmem regression for the
+// total == 0 guard: decoding empty or label-only batches must not pay a
+// zero-length backing-array allocation (one allocation for the row
+// headers is all a label-only batch costs; a zero-row batch costs none).
+func TestDecodeBatchEmptyAllocs(t *testing.T) {
+	labelOnly := EncodeBatch([][]float64{{}, {}, {}})
+	empty := EncodeBatch(nil)
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := DecodeBatch(labelOnly); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 1 {
+		t.Fatalf("label-only DecodeBatch allocates %v/op, want <= 1", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := DecodeBatch(empty); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("empty DecodeBatch allocates %v/op, want 0", allocs)
+	}
+}
+
+// tensorSpy implements TensorPredictor and records which path served each
+// batch, so the handler's dispatch preference is observable.
+type tensorSpy struct {
+	info        Info
+	tensorCalls int
+	rowsCalls   int
+}
+
+func (p *tensorSpy) Info() Info { return p.info }
+
+func (p *tensorSpy) PredictBatch(xs [][]float64) ([]Prediction, error) {
+	p.rowsCalls++
+	out := make([]Prediction, len(xs))
+	for i, x := range xs {
+		out[i] = Prediction{Label: int(x[0]), Scores: []float64{x[0], x[1]}}
+	}
+	return out, nil
+}
+
+func (p *tensorSpy) PredictTensor(v BatchView) ([]Prediction, error) {
+	p.tensorCalls++
+	out := make([]Prediction, v.Rows())
+	for i := range out {
+		x := v.Row(i)
+		out[i] = Prediction{Label: int(x[0]), Scores: []float64{x[0], x[1]}}
+	}
+	return out, nil
+}
+
+func TestHandlerPrefersTensorPath(t *testing.T) {
+	xs := [][]float64{{1, 10}, {2, 20}, {3, 30}}
+	spy := &tensorSpy{info: Info{Name: "spy", Version: 1, InputDim: 2}}
+	tensorResp, err := Handler(spy)(rpc.MethodPredict, EncodeBatch(xs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spy.tensorCalls != 1 || spy.rowsCalls != 0 {
+		t.Fatalf("tensor=%d rows=%d, want the tensor path", spy.tensorCalls, spy.rowsCalls)
+	}
+
+	// A plain Predictor with the same outputs must produce identical
+	// response bytes through the [][]float64 path.
+	plain := NewFunc(spy.info, func(xs [][]float64) ([]Prediction, error) {
+		out := make([]Prediction, len(xs))
+		for i, x := range xs {
+			out[i] = Prediction{Label: int(x[0]), Scores: []float64{x[0], x[1]}}
+		}
+		return out, nil
+	})
+	rowsResp, err := Handler(plain)(rpc.MethodPredict, EncodeBatch(xs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tensorResp, rowsResp) {
+		t.Fatal("tensor path and rows path produced different response bytes")
+	}
+}
+
+// TestHandlerTensorDimError: the tensor path must reject dimension
+// mismatches with the same error (same offending query index) as the
+// rows path.
+func TestHandlerTensorDimError(t *testing.T) {
+	bad := [][]float64{{1, 10}, {2}, {3, 30}} // query 1 has dim 1
+	spy := &tensorSpy{info: Info{Name: "spy", Version: 1, InputDim: 2}}
+	_, terr := Handler(spy)(rpc.MethodPredict, EncodeBatch(bad))
+	if terr == nil {
+		t.Fatal("tensor path accepted a dim mismatch")
+	}
+	if spy.tensorCalls != 0 {
+		t.Fatal("predictor ran despite dim mismatch")
+	}
+	plain := NewFunc(spy.info, func(xs [][]float64) ([]Prediction, error) { return nil, nil })
+	_, rerr := Handler(plain)(rpc.MethodPredict, EncodeBatch(bad))
+	if rerr == nil {
+		t.Fatal("rows path accepted a dim mismatch")
+	}
+	if terr.Error() != rerr.Error() {
+		t.Fatalf("tensor error %q != rows error %q", terr, rerr)
+	}
+	if !strings.Contains(terr.Error(), "query 1") {
+		t.Fatalf("error %q does not name the offending query", terr)
+	}
+}
+
+// TestPutEncBufRetentionCap is the regression for unbounded pooled-buffer
+// retention: a batch that grows its encode buffer past maxPooledEncBuf
+// must see that buffer dropped, not pooled forever.
+func TestPutEncBufRetentionCap(t *testing.T) {
+	small := make([]byte, 0, 4096)
+	if !putEncBuf(&small, small) {
+		t.Fatal("default-sized buffer not pooled")
+	}
+	atCap := make([]byte, 0, maxPooledEncBuf)
+	if !putEncBuf(&atCap, atCap) {
+		t.Fatal("at-cap buffer not pooled")
+	}
+	huge := make([]byte, 0, maxPooledEncBuf+1)
+	if putEncBuf(&huge, huge) {
+		t.Fatal("oversized encode buffer retained in the pool")
+	}
+}
+
+// TestPutViewRetentionCap: the handler's pooled decode views obey the
+// same retention rule — a view grown by one giant batch is dropped, not
+// pooled. (Observable via pointer identity: a capped view must never
+// come back out of the pool.)
+func TestPutViewRetentionCap(t *testing.T) {
+	// Both backing arrays count: a giant batch grows Data, a batch of
+	// millions of zero-length rows grows the offsets table instead.
+	bigData := &BatchView{Data: make([]float64, maxPooledViewFloats+1)}
+	bigOffsets := &BatchView{offsets: make([]int, maxPooledViewFloats+1)}
+	putView(bigData)
+	putView(bigOffsets)
+	for i := 0; i < 100; i++ {
+		got := viewPool.Get().(*BatchView)
+		if got == bigData || got == bigOffsets {
+			t.Fatal("oversized view retained in the pool")
+		}
+	}
+}

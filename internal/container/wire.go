@@ -73,7 +73,12 @@ func DecodeBatch(buf []byte) ([][]float64, error) {
 		scan += int(n) * 8
 	}
 	xs := make([][]float64, rows)
-	backing := make([]float64, total)
+	// Mirror DecodePredictions' guard: an empty or label-only batch (every
+	// row zero-length) must not pay for a zero-length backing allocation.
+	var backing []float64
+	if total > 0 {
+		backing = make([]float64, total)
+	}
 	for r := range xs {
 		var n uint32
 		n, off, _ = readU32(buf, off)
@@ -86,6 +91,99 @@ func DecodeBatch(buf []byte) ([][]float64, error) {
 		xs[r] = row
 	}
 	return xs, nil
+}
+
+// BatchView is a flat, row-major tensor view over a decoded batch: every
+// row's values sit back to back in one Data slice, so a model with a
+// tensor fast path (TensorPredictor) can consume the whole batch without
+// the per-row [][]float64 materialization DecodeBatch pays for.
+//
+// A view decoded by DecodeBatchView owns no payload memory — the decoder
+// copies values out of the wire buffer — but its backing arrays are meant
+// to be reused: decoding into the same view reuses Data and the offset
+// table, so the steady-state decode allocates nothing. Consumers must
+// treat a view handed to them (e.g. via PredictTensor) as valid only for
+// the duration of the call, and must not alias Data in anything they
+// return.
+type BatchView struct {
+	// Data holds all rows' values, row-major.
+	Data []float64
+
+	offsets []int // row r spans Data[offsets[r]:offsets[r+1]]
+	dim     int   // uniform row width; -1 when rows are ragged, 0 when empty
+}
+
+// Rows returns the number of rows in the view.
+func (v *BatchView) Rows() int {
+	if len(v.offsets) == 0 {
+		return 0
+	}
+	return len(v.offsets) - 1
+}
+
+// Dim returns the uniform row width when every row has the same length
+// (0 for an empty batch), or -1 when rows are ragged.
+func (v *BatchView) Dim() int { return v.dim }
+
+// Row returns row r as a slice of Data. It aliases the view's backing
+// array and is valid only as long as the view is.
+func (v *BatchView) Row(r int) []float64 {
+	return v.Data[v.offsets[r]:v.offsets[r+1]]
+}
+
+// DecodeBatchView decodes an EncodeBatch payload into v, reusing v's
+// backing arrays. It performs the same two-pass validation as DecodeBatch
+// (hostile row counts and truncated rows fail before anything is sized),
+// then copies the values straight into the flat tensor — no per-row
+// slices, no second copy. With a reused view the steady-state decode is
+// allocation-free at any batch size; a fresh view pays at most one
+// allocation each for Data and the offset table.
+func DecodeBatchView(buf []byte, v *BatchView) error {
+	rows, off, err := readU32(buf, 0)
+	if err != nil {
+		return err
+	}
+	total := 0
+	scan := off
+	for r := uint32(0); r < rows; r++ {
+		var n uint32
+		n, scan, err = readU32(buf, scan)
+		if err != nil {
+			return err
+		}
+		if int(n)*8 > len(buf)-scan {
+			return fmt.Errorf("container: row %d truncated", r)
+		}
+		total += int(n)
+		scan += int(n) * 8
+	}
+	if cap(v.offsets) < int(rows)+1 {
+		v.offsets = make([]int, int(rows)+1)
+	}
+	v.offsets = v.offsets[:int(rows)+1]
+	if cap(v.Data) < total {
+		v.Data = make([]float64, total)
+	}
+	v.Data = v.Data[:total]
+	v.dim = 0
+	pos := 0
+	for r := 0; r < int(rows); r++ {
+		var n uint32
+		n, off, _ = readU32(buf, off)
+		v.offsets[r] = pos
+		for i := 0; i < int(n); i++ {
+			v.Data[pos+i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		if r == 0 {
+			v.dim = int(n)
+		} else if v.dim != int(n) {
+			v.dim = -1
+		}
+		pos += int(n)
+	}
+	v.offsets[rows] = pos
+	return nil
 }
 
 // EncodePredictions serializes model outputs.

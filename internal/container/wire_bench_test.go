@@ -1,6 +1,7 @@
 package container
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -61,6 +62,29 @@ func BenchmarkDecodeBatch(b *testing.B) {
 		if _, err := DecodeBatch(buf); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkDecodeBatchView measures the zero-copy tensor decode into a
+// reused view: allocation-free in steady state at any batch size (the
+// path Handler takes for TensorPredictor models).
+func BenchmarkDecodeBatchView(b *testing.B) {
+	for _, rows := range []int{16, 64, 512} {
+		b.Run(fmt.Sprintf("rows%d", rows), func(b *testing.B) {
+			buf := EncodeBatch(benchRows(rows, 128))
+			var v BatchView
+			if err := DecodeBatchView(buf, &v); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(buf)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := DecodeBatchView(buf, &v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"clipper/internal/container"
 	"clipper/internal/dataset"
 	"clipper/internal/models"
 )
@@ -166,6 +167,74 @@ func TestSimPredictorPredictionsAndLatency(t *testing.T) {
 	}
 	if elapsed > want+20*time.Millisecond {
 		t.Fatalf("batch took %v, far over target %v", elapsed, want)
+	}
+}
+
+// TestSimPredictorTensorMatchesBatch pins the tensor fast path's
+// contract: PredictTensor must produce exactly PredictBatch's labels and
+// scores — for models with a flat fast path (linear, MLP, kernel, KNN),
+// for models without one (random forest falls back to per-row slicing),
+// and end to end through a Loopback deployment, where the Handler picks
+// the tensor path on its own.
+func TestSimPredictorTensorMatchesBatch(t *testing.T) {
+	d := dataset.Gaussian(dataset.GaussianConfig{
+		Name: "g", N: 300, Dim: 10, NumClasses: 3, Separation: 5, Noise: 1, Seed: 1,
+	})
+	train, test := d.Split(0.8, 1)
+	xs := test.X[:16]
+	ms := []models.Model{
+		models.TrainLinearSVM("svm", train, models.DefaultLinearConfig()),
+		models.TrainMLP("mlp", train, models.MLPConfig{Hidden: []int{16}, Epochs: 2, Seed: 1}),
+		models.TrainKernelMachine("ksvm", train, models.KernelConfig{Landmarks: 32, Linear: models.DefaultLinearConfig(), Seed: 1}),
+		models.TrainKNN("knn", train, 5),
+		models.TrainRandomForest("rf", train, models.DefaultTreeConfig()), // no FlatScorer: per-row fallback
+	}
+	for _, m := range ms {
+		p := NewSimPredictor(m, Profile{Name: "free"}, d.Dim, 1)
+		want, err := p.PredictBatch(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v container.BatchView
+		if err := container.DecodeBatchView(container.EncodeBatch(xs), &v); err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.PredictTensor(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSamePreds(t, m.Name()+"/direct", got, want)
+
+		remote, stop, err := container.Loopback(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaRPC, err := remote.PredictBatch(xs)
+		stop()
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSamePreds(t, m.Name()+"/loopback", viaRPC, want)
+	}
+}
+
+func requireSamePreds(t *testing.T, name string, got, want []container.Prediction) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d predictions, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Label != want[i].Label {
+			t.Fatalf("%s: row %d label %d, want %d", name, i, got[i].Label, want[i].Label)
+		}
+		if len(got[i].Scores) != len(want[i].Scores) {
+			t.Fatalf("%s: row %d has %d scores, want %d", name, i, len(got[i].Scores), len(want[i].Scores))
+		}
+		for c := range want[i].Scores {
+			if got[i].Scores[c] != want[i].Scores[c] {
+				t.Fatalf("%s: row %d score %d = %v, want %v", name, i, c, got[i].Scores[c], want[i].Scores[c])
+			}
+		}
 	}
 }
 

@@ -1,0 +1,131 @@
+package models
+
+import (
+	"strings"
+	"testing"
+)
+
+// The flat fast paths exist for the serving hot path (zero-copy tensor
+// decode); their contract is bit-for-bit equivalence with the per-query
+// Scores/Predict surface. Any drift here would silently change served
+// predictions depending on which decode path a container takes.
+
+// flatModels trains one of each FlatScorer model family on the shared
+// easy task.
+func flatModels(t *testing.T) []Model {
+	t.Helper()
+	train, _ := easyTask(t)
+	return []Model{
+		TrainLinearSVM("flat-svm", train, DefaultLinearConfig()),
+		TrainLogisticRegression("flat-logreg", train, DefaultLinearConfig()),
+		TrainMLP("flat-mlp", train, MLPConfig{Hidden: []int{32, 16}, Epochs: 3, Seed: 1}),
+		TrainKernelMachine("flat-ksvm", train, KernelConfig{Landmarks: 64, Linear: DefaultLinearConfig(), Seed: 1}),
+		TrainKNN("flat-knn", train, 5),
+	}
+}
+
+func flatten(xs [][]float64) []float64 {
+	out := make([]float64, 0, len(xs)*len(xs[0]))
+	for _, x := range xs {
+		out = append(out, x...)
+	}
+	return out
+}
+
+func TestScoresFlatMatchesScores(t *testing.T) {
+	_, test := easyTask(t)
+	xs := test.X[:64]
+	data := flatten(xs)
+	dim := len(xs[0])
+	for _, m := range flatModels(t) {
+		fs, ok := m.(FlatScorer)
+		if !ok {
+			t.Fatalf("%s does not implement FlatScorer", m.Name())
+		}
+		sc := m.(Scorer)
+		nc := m.NumClasses()
+		out := make([]float64, len(xs)*nc)
+		// Dirty scratch: implementations must overwrite, not accumulate.
+		for i := range out {
+			out[i] = 999
+		}
+		fs.ScoresFlat(data, len(xs), dim, out)
+		for r, x := range xs {
+			want := sc.Scores(x)
+			got := out[r*nc : (r+1)*nc]
+			for c := range want {
+				if got[c] != want[c] {
+					t.Fatalf("%s row %d class %d: flat %v, serial %v", m.Name(), r, c, got[c], want[c])
+				}
+			}
+		}
+	}
+}
+
+func TestPredictFlatMatchesPredictBatch(t *testing.T) {
+	_, test := easyTask(t)
+	xs := test.X[:64]
+	data := flatten(xs)
+	dim := len(xs[0])
+	for _, m := range flatModels(t) {
+		fs := m.(FlatScorer)
+		want := m.PredictBatch(xs)
+		got := make([]int, len(xs))
+		PredictFlat(fs, m.NumClasses(), data, len(xs), dim, got)
+		for r := range want {
+			if got[r] != want[r] {
+				t.Fatalf("%s row %d: flat label %d, serial %d", m.Name(), r, got[r], want[r])
+			}
+		}
+	}
+}
+
+func TestScoresFlatPerBatchAllocs(t *testing.T) {
+	// The point of the flat path: per-batch scratch, not per-row. Each
+	// family's ScoresFlat must allocate a constant number of slices
+	// regardless of row count (linear: 0; mlp: 2; kernel: 1; knn: 1).
+	_, test := easyTask(t)
+	xs := test.X[:32]
+	data := flatten(xs)
+	dim := len(xs[0])
+	maxAllocs := map[string]float64{
+		"flat-svm": 0, "flat-logreg": 0, "flat-mlp": 2, "flat-ksvm": 1, "flat-knn": 1,
+	}
+	for _, m := range flatModels(t) {
+		fs := m.(FlatScorer)
+		out := make([]float64, len(xs)*m.NumClasses())
+		allocs := testing.AllocsPerRun(20, func() {
+			fs.ScoresFlat(data, len(xs), dim, out)
+		})
+		if want := maxAllocs[m.Name()]; allocs > want {
+			t.Errorf("%s ScoresFlat allocates %v/batch, want <= %v", m.Name(), allocs, want)
+		}
+	}
+}
+
+func TestScoresFlatDimMismatchPanics(t *testing.T) {
+	for _, m := range flatModels(t) {
+		fs := m.(FlatScorer)
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%s ScoresFlat accepted a wrong dim", m.Name())
+				}
+				if !strings.Contains(r.(string), "input dim") {
+					t.Fatalf("%s panic = %v", m.Name(), r)
+				}
+			}()
+			fs.ScoresFlat(make([]float64, 6), 2, 3, make([]float64, 2*m.NumClasses()))
+		}()
+	}
+}
+
+func TestArgmaxExported(t *testing.T) {
+	if got := Argmax([]float64{0.1, 2.5, -1, 2.5}); got != 1 {
+		t.Fatalf("Argmax = %d, want first maximum (1)", got)
+	}
+	if got := Argmax(nil); got != 0 {
+		t.Fatalf("Argmax(nil) = %d, want 0", got)
+	}
+}

@@ -117,3 +117,23 @@ func (m *KernelMachine) Scores(x []float64) []float64 {
 	checkDim(m.name, x, m.dim)
 	return m.linear.Scores(m.kernelFeatures(x))
 }
+
+// ScoresFlat implements FlatScorer. One kernel-feature buffer is reused
+// across every row — kernelFeatures allocates a landmarks-wide slice per
+// query on the serial path, which dominates small-batch garbage for this
+// model family.
+func (m *KernelMachine) ScoresFlat(data []float64, rows, dim int, out []float64) {
+	checkFlat(m.name, rows, dim, m.dim, data)
+	feat := make([]float64, len(m.landmarks))
+	nc := m.linear.NumClasses()
+	for r := 0; r < rows; r++ {
+		x := data[r*dim : (r+1)*dim]
+		for i, l := range m.landmarks {
+			feat[i] = math.Exp(-m.gamma * sqDist(x, l))
+		}
+		s := out[r*nc : (r+1)*nc]
+		for c, w := range m.linear.weights {
+			s[c] = dot(w, feat) + m.linear.bias[c]
+		}
+	}
+}

@@ -83,6 +83,65 @@ func (m *KNN) Scores(x []float64) []float64 {
 	return out
 }
 
+// ScoresFlat implements FlatScorer: neighbor vote shares for every row of
+// a flat row-major tensor, reusing one neighbor heap across rows. The
+// heap operations are inlined (identical compare/swap order to
+// heap.Push/heap.Fix, so ties resolve exactly as Scores does) because the
+// heap package's interface{} boxing costs an allocation per pushed
+// neighbor — the garbage this fast path exists to avoid.
+func (m *KNN) ScoresFlat(data []float64, rows, dim int, out []float64) {
+	checkFlat(m.name, rows, dim, m.dim, data)
+	h := make(distHeap, 0, m.k)
+	for r := 0; r < rows; r++ {
+		x := data[r*dim : (r+1)*dim]
+		h = h[:0]
+		for i, xi := range m.xs {
+			d := sqDist(x, xi)
+			if len(h) < m.k {
+				// heap.Push without boxing: append then sift up.
+				h = append(h, distEntry{d: d, y: m.ys[i]})
+				for j := len(h) - 1; j > 0; {
+					p := (j - 1) / 2
+					if h[j].d <= h[p].d {
+						break
+					}
+					h[j], h[p] = h[p], h[j]
+					j = p
+				}
+			} else if d < h[0].d {
+				// heap.Fix(&h, 0) without boxing: replace root, sift down.
+				h[0] = distEntry{d: d, y: m.ys[i]}
+				for j := 0; ; {
+					big := 2*j + 1
+					if big >= len(h) {
+						break
+					}
+					if rgt := big + 1; rgt < len(h) && h[rgt].d > h[big].d {
+						big = rgt
+					}
+					if h[big].d <= h[j].d {
+						break
+					}
+					h[j], h[big] = h[big], h[j]
+					j = big
+				}
+			}
+		}
+		s := out[r*m.numClasses : (r+1)*m.numClasses]
+		for i := range s {
+			s[i] = 0
+		}
+		for _, e := range h {
+			s[e.y]++
+		}
+		if len(h) > 0 {
+			for i := range s {
+				s[i] /= float64(len(h))
+			}
+		}
+	}
+}
+
 type distEntry struct {
 	d float64
 	y int

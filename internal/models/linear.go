@@ -49,6 +49,20 @@ func (m *LinearModel) Scores(x []float64) []float64 {
 	return s
 }
 
+// ScoresFlat implements FlatScorer: per-class margins for every row of a
+// flat row-major tensor, with zero per-row allocations.
+func (m *LinearModel) ScoresFlat(data []float64, rows, dim int, out []float64) {
+	checkFlat(m.name, rows, dim, m.dim, data)
+	nc := len(m.weights)
+	for r := 0; r < rows; r++ {
+		x := data[r*dim : (r+1)*dim]
+		s := out[r*nc : (r+1)*nc]
+		for c, w := range m.weights {
+			s[c] = dot(w, x) + m.bias[c]
+		}
+	}
+}
+
 // LinearConfig holds training hyperparameters shared by the linear trainers.
 type LinearConfig struct {
 	// Epochs is the number of passes over the training set.

@@ -198,3 +198,37 @@ func (m *MLP) Scores(x []float64) []float64 {
 	acts, _ := m.forward(x)
 	return acts[len(acts)-1]
 }
+
+// ScoresFlat implements FlatScorer: logits for every row of a flat
+// row-major tensor. Two ping-pong activation buffers are reused across
+// all rows and layers, so the whole batch costs two scratch allocations
+// instead of forward()'s two per layer per row.
+func (m *MLP) ScoresFlat(data []float64, rows, dim int, out []float64) {
+	checkFlat(m.name, rows, dim, m.dim, data)
+	nL := len(m.weights)
+	maxW := 0
+	for l := range m.weights {
+		if w := len(m.weights[l]); w > maxW {
+			maxW = w
+		}
+	}
+	cur, next := make([]float64, maxW), make([]float64, maxW)
+	for r := 0; r < rows; r++ {
+		in := data[r*dim : (r+1)*dim]
+		for l := 0; l < nL; l++ {
+			dst := next[:len(m.weights[l])]
+			if l == nL-1 {
+				dst = out[r*m.classes : (r+1)*m.classes]
+			}
+			for o, w := range m.weights[l] {
+				z := dot(w, in) + m.biases[l][o]
+				if l < nL-1 && z < 0 {
+					z = 0 // hidden ReLU; the output layer stays raw logits
+				}
+				dst[o] = z
+			}
+			in = dst
+			cur, next = next, cur
+		}
+	}
+}

@@ -41,6 +41,53 @@ type Scorer interface {
 	Scores(x []float64) []float64
 }
 
+// FlatScorer is implemented by models with a batch scoring fast path over
+// a flat row-major tensor — the shape container.BatchView delivers after
+// a zero-copy decode. Implementations score every row with per-batch
+// (not per-row) scratch and must produce exactly the values Scores
+// returns row by row; they exist so the serving hot path can skip both
+// the [][]float64 materialization and the per-query score allocation.
+type FlatScorer interface {
+	// ScoresFlat fills out with one score per class per row, row-major:
+	// row r of the rows×dim tensor data scores into
+	// out[r*classes : (r+1)*classes]. len(data) must be ≥ rows*dim and
+	// len(out) ≥ rows*NumClasses(); dim must match the model's input
+	// dimensionality (implementations panic otherwise, as Predict does).
+	ScoresFlat(data []float64, rows, dim int, out []float64)
+}
+
+// Argmax returns the index of the largest value in v (0 when empty) — the
+// label rule every scoring model in this package shares, exported for
+// consumers turning flat score tensors into labels.
+func Argmax(v []float64) int { return argmax(v) }
+
+// PredictFlat computes one label per row of the rows×dim tensor through
+// s's flat scoring fast path, writing labels into out (length ≥ rows).
+// classes is s's score width (NumClasses). It allocates one rows×classes
+// scratch per call — still one allocation per batch instead of one per
+// query.
+func PredictFlat(s FlatScorer, classes int, data []float64, rows, dim int, out []int) {
+	if rows == 0 {
+		return
+	}
+	scores := make([]float64, rows*classes)
+	s.ScoresFlat(data, rows, dim, scores)
+	for r := 0; r < rows; r++ {
+		out[r] = argmax(scores[r*classes : (r+1)*classes])
+	}
+}
+
+// checkFlat validates a flat tensor's shape against the model's expected
+// input dimensionality, mirroring checkDim's panic behavior.
+func checkFlat(name string, rows, dim, want int, data []float64) {
+	if dim != want {
+		panic(fmt.Sprintf("models: %s: input dim %d, want %d", name, dim, want))
+	}
+	if len(data) < rows*dim {
+		panic(fmt.Sprintf("models: %s: flat tensor has %d values, want %d×%d", name, len(data), rows, dim))
+	}
+}
+
 // Accuracy returns the fraction of examples in (xs, ys) that m predicts
 // correctly.
 func Accuracy(m Model, xs [][]float64, ys []int) float64 {

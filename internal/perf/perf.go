@@ -71,6 +71,9 @@ var requiredMeasurements = []string{
 	"adaptive_compute_qps",
 	"adaptive_compute_final_inflight",
 	"adaptive_compute_final_conns",
+	"codec_pipeline_rows_qps",
+	"codec_pipeline_tensor_qps",
+	"codec_pipeline_tensor_speedup",
 }
 
 // Validate checks a report's schema sanity: id and go version present,
@@ -380,10 +383,11 @@ func AdaptiveComputeQPS(dur time.Duration) AdaptiveResult {
 	}, 16, 8, dur)
 }
 
-// ReadFrameAllocs returns allocations per rpc.ReadFrame of a frame with
-// the given payload size (the length-prefix scratch is pooled; the body
-// and Frame remain per-frame allocations until payloads get an explicit
-// release point past the codec — see ROADMAP.md).
+// ReadFrameAllocs returns steady-state allocations per rpc.ReadFrame of a
+// frame with the given payload size, honoring the leased-payload contract
+// (each frame is Released after reading, the way the client and server
+// loops do). With the body pools and frame pool warm this is 0 for any
+// payload up to the 1 MiB pooling cap.
 func ReadFrameAllocs(payloadSize int) float64 {
 	var buf bytes.Buffer
 	f := &rpc.Frame{ID: 1, Type: rpc.MsgRequest, Method: rpc.MethodPredict, Payload: make([]byte, payloadSize)}
@@ -394,9 +398,11 @@ func ReadFrameAllocs(payloadSize int) float64 {
 	r := bytes.NewReader(wire)
 	return testing.AllocsPerRun(1000, func() {
 		r.Reset(wire)
-		if _, err := rpc.ReadFrame(r); err != nil {
+		g, err := rpc.ReadFrame(r)
+		if err != nil {
 			panic(err)
 		}
+		g.Release()
 	})
 }
 
@@ -449,6 +455,109 @@ func DecodePredictionsAllocs(n, scores int) float64 {
 	})
 }
 
+// DecodeBatchViewAllocs returns steady-state allocations per
+// container.DecodeBatchView of a rows×dim batch into a reused view — the
+// zero-copy tensor path the Handler takes for TensorPredictor models.
+// With the view's backing arrays warm this is 0 at any batch size.
+func DecodeBatchViewAllocs(rows, dim int) float64 {
+	buf := container.EncodeBatch(benchRows(rows, dim))
+	var v container.BatchView
+	if err := container.DecodeBatchView(buf, &v); err != nil {
+		panic(err)
+	}
+	return testing.AllocsPerRun(200, func() {
+		if err := container.DecodeBatchView(buf, &v); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// rowsEcho is a trivial container whose compute cost is negligible, so an
+// end-to-end pipeline drive over it measures the serving overhead —
+// queueing, framing, codec — rather than the model.
+type rowsEcho struct{}
+
+func (rowsEcho) Info() container.Info {
+	return container.Info{Name: "echo", Version: 1}
+}
+
+func (rowsEcho) PredictBatch(xs [][]float64) ([]container.Prediction, error) {
+	out := make([]container.Prediction, len(xs))
+	for i, x := range xs {
+		out[i] = container.Prediction{Label: int(x[0])}
+	}
+	return out, nil
+}
+
+// tensorEcho is rowsEcho plus the flat-tensor fast path, so the Handler
+// serves it through DecodeBatchView instead of DecodeBatch.
+type tensorEcho struct{ rowsEcho }
+
+func (tensorEcho) PredictTensor(v container.BatchView) ([]container.Prediction, error) {
+	out := make([]container.Prediction, v.Rows())
+	for i := range out {
+		out[i] = container.Prediction{Label: int(v.Row(i)[0])}
+	}
+	return out, nil
+}
+
+// CodecPipelineQPS drives a batching queue (Fixed(16) batches, InFlight 4)
+// over a loopback container — the full RPC + codec path on in-memory
+// pipes — for roughly dur and returns completed queries per second.
+// tensor selects the TensorPredictor fast path (BatchView decode on the
+// container side); otherwise the same workload runs through the
+// [][]float64 decode. The container itself is free, so the difference
+// between the two is the serialization share of end-to-end throughput —
+// the Figure 11 cost this repo keeps chipping at.
+func CodecPipelineQPS(tensor bool, dur time.Duration) float64 {
+	const dim = 128
+	var pred container.Predictor = rowsEcho{}
+	if tensor {
+		pred = tensorEcho{}
+	}
+	remote, stop, err := container.Loopback(pred)
+	if err != nil {
+		panic(err)
+	}
+	defer stop()
+	q := batching.NewQueue(remote, batching.QueueConfig{
+		Controller: batching.NewFixed(16),
+		InFlight:   4,
+	})
+	defer q.Close()
+
+	const submitters = 64
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var completed int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			x := make([]float64, dim)
+			x[0] = float64(s)
+			n := int64(0)
+			for ctx.Err() == nil {
+				if _, err := q.Submit(ctx, x); err != nil {
+					break
+				}
+				n++
+			}
+			mu.Lock()
+			completed += n
+			mu.Unlock()
+		}(s)
+	}
+	start := time.Now()
+	time.Sleep(dur)
+	cancel()
+	wg.Wait()
+	elapsed := time.Since(start)
+	return float64(completed) / elapsed.Seconds()
+}
+
 // AppendBatchAllocs returns steady-state allocations per
 // container.AppendBatch into a reused buffer.
 func AppendBatchAllocs(rows, dim int) float64 {
@@ -477,6 +586,8 @@ func Run(id string, dur time.Duration) Report {
 	// operating point).
 	xfer := AdaptiveTransferQPS(4, 2*dur)
 	cpu := AdaptiveComputeQPS(2 * dur)
+	codecRows := CodecPipelineQPS(false, dur)
+	codecTensor := CodecPipelineQPS(true, dur)
 	rep.Measurements = append(rep.Measurements,
 		Measurement{Name: "dispatch_pipeline_inflight1", Unit: "qps", Value: qps1},
 		Measurement{Name: "dispatch_pipeline_inflight4", Unit: "qps", Value: qps4},
@@ -496,11 +607,21 @@ func Run(id string, dur time.Duration) Report {
 		Measurement{Name: "adaptive_compute_qps", Unit: "qps", Value: cpu.QPS},
 		Measurement{Name: "adaptive_compute_final_inflight", Unit: "batches", Value: float64(cpu.FinalInFlight)},
 		Measurement{Name: "adaptive_compute_final_conns", Unit: "conns", Value: float64(cpu.FinalConns)},
+		// End-to-end codec share: the same free container behind the full
+		// loopback RPC path, decoded as [][]float64 rows vs as a flat
+		// BatchView tensor.
+		Measurement{Name: "codec_pipeline_rows_qps", Unit: "qps", Value: codecRows},
+		Measurement{Name: "codec_pipeline_tensor_qps", Unit: "qps", Value: codecTensor},
+		Measurement{Name: "codec_pipeline_tensor_speedup", Unit: "x", Value: codecTensor / codecRows},
 		Measurement{Name: "write_frame_inline_256B", Unit: "allocs/op", Value: FrameWriteAllocs(256)},
 		Measurement{Name: "write_frame_writev_64KB", Unit: "allocs/op", Value: FrameWriteAllocs(64 << 10)},
+		// Read side honors the leased-payload release contract: 0 in
+		// steady state (body pools + frame pool warm).
 		Measurement{Name: "read_frame_inline_256B", Unit: "allocs/op", Value: ReadFrameAllocs(256)},
 		Measurement{Name: "read_frame_large_64KB", Unit: "allocs/op", Value: ReadFrameAllocs(64 << 10)},
 		Measurement{Name: "decode_batch_64x128", Unit: "allocs/op", Value: DecodeBatchAllocs(64, 128)},
+		Measurement{Name: "decode_batch_view_64x128", Unit: "allocs/op", Value: DecodeBatchViewAllocs(64, 128)},
+		Measurement{Name: "decode_batch_view_512x128", Unit: "allocs/op", Value: DecodeBatchViewAllocs(512, 128)},
 		Measurement{Name: "decode_predictions_64x10", Unit: "allocs/op", Value: DecodePredictionsAllocs(64, 10)},
 		Measurement{Name: "append_batch_reused_64x128", Unit: "allocs/op", Value: AppendBatchAllocs(64, 128)},
 	)

@@ -72,6 +72,23 @@ func (c *Client) Stats() ConnStats {
 // connection failed).
 var ErrClientClosed = errors.New("rpc: client closed")
 
+// Payload is a leased response payload returned by Call. Data aliases a
+// pooled frame body; the caller owns the lease and must call Release
+// exactly once when it is done with Data — for the prediction path that
+// release point is Remote.PredictBatchContext, immediately after
+// DecodePredictions copies the values out. Data must not be retained or
+// used after Release. The zero Payload is valid and Release on it is a
+// no-op, so error returns need no special casing.
+type Payload struct {
+	// Data is the response payload. Valid until Release.
+	Data []byte
+
+	frame *Frame
+}
+
+// Release returns the payload's backing frame body to the frame pools.
+func (p Payload) Release() { p.frame.Release() }
+
 // Dial connects to a container server at addr (TCP).
 func Dial(addr string, timeout time.Duration) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
@@ -129,12 +146,20 @@ func (c *Client) readLoop() {
 		ch, ok := c.pending[f.ID]
 		if ok {
 			delete(c.pending, f.ID)
-		}
-		c.mu.Unlock()
-		if ok {
+			// Deliver while holding mu (the channel is buffered, so this
+			// never blocks). Publishing under the lock is what makes the
+			// cancelled-call drain sound: a caller that finds its pending
+			// entry already gone knows the response — if one arrived — is
+			// already sitting in its channel, so its non-blocking drain
+			// cannot miss a frame and leak the lease.
 			ch <- f
 		}
-		// Unmatched frames (e.g. responses to abandoned calls) are dropped.
+		c.mu.Unlock()
+		if !ok {
+			// Response to an abandoned call (or stray id): nobody else
+			// will see this frame, so the read loop ends its lease.
+			f.Release()
+		}
 	}
 }
 
@@ -159,7 +184,12 @@ func (c *Client) failAll(err error) {
 }
 
 // Call sends a request and blocks for its response or ctx cancellation.
-func (c *Client) Call(ctx context.Context, method Method, payload []byte) ([]byte, error) {
+// The returned Payload is leased: the caller must Release it exactly once
+// when done with its Data (error returns carry a zero Payload, safe to
+// ignore). A call abandoned by ctx cancellation releases its late-arriving
+// response internally — either the caller's drain or the read loop gets
+// it, never both.
+func (c *Client) Call(ctx context.Context, method Method, payload []byte) (Payload, error) {
 	c.mu.Lock()
 	if c.closed {
 		err := c.readErr
@@ -167,7 +197,7 @@ func (c *Client) Call(ctx context.Context, method Method, payload []byte) ([]byt
 		if err == nil {
 			err = ErrClientClosed
 		}
-		return nil, err
+		return Payload{}, err
 	}
 	c.nextID++
 	id := c.nextID
@@ -194,7 +224,7 @@ func (c *Client) Call(ctx context.Context, method Method, payload []byte) ([]byt
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return nil, err
+		return Payload{}, err
 	}
 
 	select {
@@ -206,17 +236,39 @@ func (c *Client) Call(ctx context.Context, method Method, payload []byte) ([]byt
 			if err == nil {
 				err = ErrClientClosed
 			}
-			return nil, err
+			return Payload{}, err
 		}
 		if f.Type == MsgError {
-			return nil, &RemoteError{Message: string(f.Payload)}
+			msg := string(f.Payload)
+			f.Release()
+			return Payload{}, &RemoteError{Message: msg}
 		}
-		return f.Payload, nil
+		return Payload{Data: f.Payload, frame: f}, nil
 	case <-ctx.Done():
-		c.mu.Lock()
+		c.abandon(id, ch)
+		return Payload{}, ctx.Err()
+	}
+}
+
+// abandon removes a cancelled call's correlation entry. If the response
+// raced in first, the read loop has already buffered it in ch (under mu,
+// before removing the entry), so a non-blocking drain reliably finds the
+// frame and releases its lease — late responses never corrupt the body
+// pool or leak.
+func (c *Client) abandon(id uint64, ch chan *Frame) {
+	c.mu.Lock()
+	if _, ok := c.pending[id]; ok {
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return nil, ctx.Err()
+		return
+	}
+	c.mu.Unlock()
+	select {
+	case f, ok := <-ch:
+		if ok {
+			f.Release()
+		}
+	default:
 	}
 }
 
@@ -250,14 +302,14 @@ func (c *Client) Ping(ctx context.Context) error {
 		if !ok {
 			return ErrClientClosed
 		}
-		if f.Type != MsgPong {
-			return fmt.Errorf("rpc: unexpected ping reply type %d", f.Type)
+		typ := f.Type
+		f.Release()
+		if typ != MsgPong {
+			return fmt.Errorf("rpc: unexpected ping reply type %d", typ)
 		}
 		return nil
 	case <-ctx.Done():
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
+		c.abandon(id, ch)
 		return ctx.Err()
 	}
 }

@@ -25,8 +25,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // MsgType distinguishes frame kinds.
@@ -55,11 +57,99 @@ const (
 const MaxFrameSize = 64 << 20
 
 // Frame is one protocol message.
+//
+// Frames returned by ReadFrame are *leased*: their Payload aliases a
+// pooled body buffer, and the reader that consumed the frame must call
+// Release exactly once when the payload's lifetime ends (see the
+// "payload lifetime & release points" section of docs/ARCHITECTURE.md).
+// Frames constructed by callers for WriteFrame carry no lease; Release
+// on them is a harmless no-op.
 type Frame struct {
 	ID      uint64
 	Type    MsgType
 	Method  Method
 	Payload []byte
+
+	body   *[]byte // pooled body backing Payload; nil when unpooled
+	leased bool    // came from ReadFrame via recvFramePool
+}
+
+// Release returns the frame's pooled body (and the frame itself, when it
+// came from ReadFrame) to their pools. The frame and its Payload must not
+// be used after Release; calling Release twice on the same leased frame
+// corrupts the pools. Release on a frame that was never leased (e.g. one
+// built for WriteFrame) is a no-op, and Release on nil is safe.
+func (f *Frame) Release() {
+	if f == nil {
+		return
+	}
+	if f.body != nil {
+		putBody(f.body)
+		f.body = nil
+	}
+	f.Payload = nil
+	if f.leased {
+		f.leased = false
+		activeLeases.Add(-1)
+		recvFramePool.Put(f)
+	}
+}
+
+// recvFramePool recycles the Frame structs handed out by ReadFrame, so the
+// steady-state read path allocates neither the frame nor (via bodyPools)
+// its body.
+var recvFramePool = sync.Pool{
+	New: func() any { return &Frame{} },
+}
+
+// activeLeases counts leased frames not yet released — the invariant the
+// lease tests assert drains back to its baseline after every exchange.
+var activeLeases atomic.Int64
+
+// Frame bodies are pooled in power-of-two size classes from 1<<minBodyBits
+// up to 1<<maxBodyBits (1 MiB). Bodies above the cap are allocated fresh
+// and never pooled: one giant batch must not pin a giant buffer in the
+// pool forever (the same retention rule container.putEncBuf applies on the
+// encode side).
+const (
+	minBodyBits = 9
+	maxBodyBits = 20
+	// maxPooledBody is the largest frame body the read path recycles.
+	maxPooledBody = 1 << maxBodyBits
+)
+
+var bodyPools [maxBodyBits - minBodyBits + 1]sync.Pool
+
+// bodyClass maps a body size (2 ≤ n ≤ maxPooledBody) to its pool index.
+func bodyClass(n int) int {
+	b := bits.Len(uint(n - 1)) // smallest power-of-two exponent covering n
+	if b < minBodyBits {
+		return 0
+	}
+	return b - minBodyBits
+}
+
+// getBody returns a pooled buffer with capacity ≥ n, or nil when n exceeds
+// maxPooledBody (the caller allocates fresh and the body stays unpooled).
+func getBody(n int) *[]byte {
+	if n > maxPooledBody {
+		return nil
+	}
+	c := bodyClass(n)
+	if b, ok := bodyPools[c].Get().(*[]byte); ok {
+		return b
+	}
+	b := make([]byte, 1<<(minBodyBits+c))
+	return &b
+}
+
+func putBody(b *[]byte) {
+	n := cap(*b)
+	if n < 1<<minBodyBits || n > maxPooledBody || n&(n-1) != 0 {
+		return // not one of ours; drop rather than poison a class
+	}
+	*b = (*b)[:n]
+	bodyPools[bodyClass(n)].Put(b)
 }
 
 // frame header: 4 length + 8 id + 1 type + 1 method = 14 bytes; the length
@@ -124,14 +214,15 @@ func WriteFrame(w io.Writer, f *Frame) error {
 //
 // The 4-byte length prefix is read into a pooled scratch buffer (a
 // stack-declared array would escape through the io.Reader interface and
-// cost an allocation per frame). The frame body, however, is freshly
-// allocated every time: Frame.Payload aliases it and the payload's
-// lifetime extends past ReadFrame with no explicit release point — the
-// client hands it to the codec inside Remote.PredictBatchContext, and the
-// server hands it to an arbitrary Handler that may retain it. Pooling the
-// body needs a payload-release contract past the codec (see the read-side
-// frame buffer reuse item in ROADMAP.md) and is deliberately not done
-// here.
+// cost an allocation per frame). The returned frame is leased: its body
+// comes from a size-classed pool (bodies ≤ 1 MiB) and the Frame struct
+// from recvFramePool, so the steady-state read path allocates nothing —
+// the consumer must call Frame.Release exactly once when it is done with
+// the payload. The release points are fixed by contract: the client
+// releases a response after decoding it (Remote.PredictBatchContext),
+// the server releases a request after the Handler's response has been
+// written, and responses to abandoned calls are released by whoever
+// finds them (Client.readLoop or the cancelled caller's drain).
 func ReadFrame(r io.Reader) (*Frame, error) {
 	fb := framePool.Get().(*frameBuf)
 	_, err := io.ReadFull(r, fb.b[:4])
@@ -146,14 +237,26 @@ func ReadFrame(r io.Reader) (*Frame, error) {
 	if n-10 > MaxFrameSize {
 		return nil, ErrFrameTooLarge
 	}
-	body := make([]byte, n)
+	var body []byte
+	bp := getBody(int(n))
+	if bp != nil {
+		body = (*bp)[:n]
+	} else {
+		body = make([]byte, n) // above maxPooledBody: fresh, never pooled
+	}
 	if _, err := io.ReadFull(r, body); err != nil {
+		if bp != nil {
+			putBody(bp)
+		}
 		return nil, err
 	}
-	return &Frame{
-		ID:      binary.LittleEndian.Uint64(body[0:8]),
-		Type:    MsgType(body[8]),
-		Method:  Method(body[9]),
-		Payload: body[10:],
-	}, nil
+	f := recvFramePool.Get().(*Frame)
+	f.ID = binary.LittleEndian.Uint64(body[0:8])
+	f.Type = MsgType(body[8])
+	f.Method = Method(body[9])
+	f.Payload = body[10:n]
+	f.body = bp
+	f.leased = true
+	activeLeases.Add(1)
+	return f, nil
 }

@@ -26,11 +26,10 @@ func BenchmarkWriteFrame(b *testing.B) {
 	b.Run("writev-64KB", func(b *testing.B) { run(b, make([]byte, 64<<10)) })
 }
 
-// BenchmarkReadFrame measures the read side. With the length-prefix
-// scratch pooled, the remaining allocations per frame are the body buffer
-// (which Frame.Payload aliases — its lifetime extends past ReadFrame, so
-// it cannot be pooled without a release contract past the codec; see
-// ROADMAP.md) and the Frame struct itself.
+// BenchmarkReadFrame measures the read side under the leased-payload
+// contract (each frame Released after reading, as the client and server
+// loops do): with the length-prefix scratch, the body pools, and the
+// frame pool all warm, both paths are allocation-free in steady state.
 func BenchmarkReadFrame(b *testing.B) {
 	run := func(b *testing.B, payload []byte) {
 		var buf bytes.Buffer
@@ -45,9 +44,11 @@ func BenchmarkReadFrame(b *testing.B) {
 		r := bytes.NewReader(wire)
 		for i := 0; i < b.N; i++ {
 			r.Reset(wire)
-			if _, err := ReadFrame(r); err != nil {
+			g, err := ReadFrame(r)
+			if err != nil {
 				b.Fatal(err)
 			}
+			g.Release()
 		}
 	}
 	b.Run("inline-256B", func(b *testing.B) { run(b, make([]byte, 256)) })

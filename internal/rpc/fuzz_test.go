@@ -62,6 +62,34 @@ func TestReadFrameTruncatedBody(t *testing.T) {
 	}
 }
 
+// FuzzReadFrame feeds arbitrary bytes to the frame reader: it must only
+// ever return frames or errors — no panics, no over-allocation past the
+// length prefix — and every frame it does return must be internally
+// consistent and releasable (the lease contract holds even for garbage
+// input). Run the smoke in CI with -fuzz=FuzzReadFrame -fuzztime=5s.
+func FuzzReadFrame(f *testing.F) {
+	var seed bytes.Buffer
+	WriteFrame(&seed, &Frame{ID: 3, Type: MsgResponse, Method: MethodPredict, Payload: []byte("seed")})
+	f.Add(seed.Bytes())
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})        // huge length prefix
+	f.Add([]byte{2, 0, 0, 0, 0, 0})              // short frame length
+	f.Add(seed.Bytes()[:seed.Len()-1])           // truncated body
+	f.Add(append(seed.Bytes(), seed.Bytes()...)) // two frames back to back
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			fr, err := ReadFrame(r)
+			if err != nil {
+				return
+			}
+			if len(fr.Payload) > MaxFrameSize {
+				t.Fatalf("payload %d exceeds MaxFrameSize", len(fr.Payload))
+			}
+			fr.Release()
+		}
+	})
+}
+
 func TestFrameStreamProperty(t *testing.T) {
 	// Property: any sequence of frames written back to back reads back in
 	// order with contents intact.

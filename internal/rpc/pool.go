@@ -14,7 +14,9 @@ import (
 // and Pool (N pooled connections). container.Remote speaks to either.
 type Caller interface {
 	// Call sends a request and blocks for its response or ctx cancellation.
-	Call(ctx context.Context, method Method, payload []byte) ([]byte, error)
+	// The returned Payload is leased; the caller must Release it exactly
+	// once when done with its Data (see Client.Call).
+	Call(ctx context.Context, method Method, payload []byte) (Payload, error)
 	// Ping round-trips a heartbeat frame.
 	Ping(ctx context.Context) error
 	// Close tears down the connection(s); in-flight calls fail.
@@ -282,10 +284,10 @@ func (p *Pool) pick() (*Client, error) {
 }
 
 // Call implements Caller over the next live pooled connection.
-func (p *Pool) Call(ctx context.Context, method Method, payload []byte) ([]byte, error) {
+func (p *Pool) Call(ctx context.Context, method Method, payload []byte) (Payload, error) {
 	c, err := p.pick()
 	if err != nil {
-		return nil, err
+		return Payload{}, err
 	}
 	return c.Call(ctx, method, payload)
 }

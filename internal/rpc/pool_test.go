@@ -90,9 +90,10 @@ func TestPoolRoundRobinEcho(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if string(resp) != string(msg) {
-			t.Fatalf("resp = %q, want %q", resp, msg)
+		if string(resp.Data) != string(msg) {
+			t.Fatalf("resp = %q, want %q", resp.Data, msg)
 		}
+		resp.Release()
 	}
 	if err := p.Ping(context.Background()); err != nil {
 		t.Fatal(err)

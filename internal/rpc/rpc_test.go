@@ -111,9 +111,10 @@ func TestClientServerEcho(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(resp) != "abc" {
-		t.Fatalf("resp = %q", resp)
+	if string(resp.Data) != "abc" {
+		t.Fatalf("resp = %q", resp.Data)
 	}
+	resp.Release()
 }
 
 func TestClientServerRemoteError(t *testing.T) {
@@ -168,10 +169,11 @@ func TestClientConcurrentCalls(t *testing.T) {
 					errs <- err
 					return
 				}
-				if !bytes.Equal(resp, msg) {
-					errs <- fmt.Errorf("cross-talk: sent %q got %q", msg, resp)
+				if !bytes.Equal(resp.Data, msg) {
+					errs <- fmt.Errorf("cross-talk: sent %q got %q", msg, resp.Data)
 					return
 				}
+				resp.Release()
 			}
 		}(g)
 	}

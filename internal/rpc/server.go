@@ -8,6 +8,12 @@ import (
 )
 
 // Handler processes one request and returns the response payload.
+//
+// The request payload aliases a pooled frame body whose lease the server
+// loop ends after the handler's response has been written — so a handler
+// may return a response that aliases the payload (echo-style), but must
+// not retain the payload past its return (the codec handlers decode —
+// copy — immediately, which is the intended shape).
 type Handler func(method Method, payload []byte) ([]byte, error)
 
 // Server accepts connections and dispatches framed requests to a Handler.
@@ -99,8 +105,10 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 		}
 		switch f.Type {
 		case MsgPing:
+			id := f.ID
+			f.Release()
 			writeMu.Lock()
-			WriteFrame(conn, &Frame{ID: f.ID, Type: MsgPong})
+			WriteFrame(conn, &Frame{ID: id, Type: MsgPong})
 			writeMu.Unlock()
 		case MsgRequest:
 			reqWG.Add(1)
@@ -115,10 +123,15 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 				writeMu.Lock()
 				WriteFrame(conn, out)
 				writeMu.Unlock()
+				// Server-side release point: the handler has returned and
+				// its response — which may alias the request payload — is
+				// on the wire, so the request frame's lease ends here.
+				f.Release()
 			}(f)
 		default:
 			// Ignore unexpected frame kinds rather than killing the
-			// connection: forward compatibility.
+			// connection (forward compatibility) — but end their lease.
+			f.Release()
 		}
 	}
 }

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# bench_pr5.sh — record the PR 5 performance trajectory.
+#
+# Runs the hot-path perf suite and writes the JSON report to
+# BENCH_PR5.json at the repo root. New in this report, alongside the
+# dispatch/pool/adaptive rows carried forward for before/after
+# comparison against BENCH_PR4.json:
+#
+#   - read_frame_*: now 0 allocs/op — the read side honors the
+#     leased-payload release contract (pooled frame bodies released at
+#     explicit points past the codec).
+#   - decode_batch_view_*: the zero-copy tensor decode (DecodeBatchView
+#     into a reused BatchView), 0 allocs/op at any batch size, next to
+#     decode_batch_64x128 (the [][]float64 path it bypasses).
+#   - codec_pipeline_{rows,tensor}_qps: end-to-end pipeline throughput
+#     over a free loopback container, decoded as rows vs as a flat
+#     tensor — the serialization share of serving cost (paper Fig. 11).
+#
+# The same quantities are available as `go test -bench` benchmarks:
+#
+#   go test -run='^$' -bench='ReadFrame|DecodeBatch' -benchmem \
+#       ./internal/rpc/ ./internal/container/
+. "$(dirname "$0")/bench_lib.sh"
+run_perf BENCH_PR5.json -id pr5-zerocopy
+check_report BENCH_PR5.json
