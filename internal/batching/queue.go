@@ -24,6 +24,35 @@ type request struct {
 	done chan Result
 }
 
+// reqPool recycles requests submitted through Submit, which receives the
+// one Result its request will ever be sent and so uniquely owns the
+// request afterward — the dispatch side never touches a request again
+// after delivering to it. Requests abandoned on ctx cancellation (their
+// Result may still be in flight) and SubmitAsync requests (the caller
+// keeps the channel) are left to the GC.
+var reqPool = sync.Pool{
+	New: func() any { return &request{done: make(chan Result, 1)} },
+}
+
+// batchPool recycles the per-batch []*request slices the collector
+// assembles; entries are cleared before pooling so a parked slice does
+// not pin delivered requests.
+var batchPool = sync.Pool{
+	New: func() any { return []*request(nil) },
+}
+
+const maxPooledBatchCap = 4096
+
+func putBatch(batch []*request) {
+	if cap(batch) > maxPooledBatchCap {
+		return
+	}
+	for i := range batch {
+		batch[i] = nil
+	}
+	batchPool.Put(batch[:0])
+}
+
 // ErrQueueClosed is returned for submissions to a closed queue.
 var ErrQueueClosed = errors.New("batching: queue closed")
 
@@ -68,6 +97,15 @@ type QueueConfig struct {
 	Adaptive *Adaptive
 }
 
+// viewCaller is the flat data-plane surface container.Remote exposes:
+// send a flat-collected batch, scatter one Prediction per row via deliver
+// (exactly once per row, in row order, iff the call returns nil). When a
+// queue's predictor implements it, batches flow submit → flat tensor →
+// wire with no [][]float64 assembly.
+type viewCaller interface {
+	PredictViewContext(ctx context.Context, v *container.BatchView, deliver func(i int, p container.Prediction)) error
+}
+
 // Queue is the adaptive batching queue for one model-container replica
 // (paper §4.3). Queries accumulate here and a dispatch pipeline drains
 // them: a collector goroutine assembles controller-sized batches and hands
@@ -75,8 +113,16 @@ type QueueConfig struct {
 // container at once so the replica stays saturated instead of idling for
 // one round trip per batch. Every dispatched batch feeds its (size,
 // latency) observation back to the controller.
+//
+// When the predictor supports the flat data plane (container.Remote
+// does), each batch is accumulated straight into a pooled flat tensor
+// (container.BatchView) and results scatter from the response view into
+// each submitter's Result slot — no per-query rows, no per-batch
+// [][]float64. Other predictors take the classic PredictBatch path,
+// unchanged.
 type Queue struct {
 	pred    container.Predictor
+	flat    viewCaller // non-nil when pred supports the flat data plane
 	ctrl    Controller
 	timeout time.Duration
 
@@ -117,8 +163,10 @@ func NewQueue(pred container.Predictor, cfg QueueConfig) *Queue {
 	if window <= 0 {
 		window = DefaultInFlight
 	}
+	flat, _ := pred.(viewCaller)
 	q := &Queue{
 		pred:         pred,
+		flat:         flat,
 		ctrl:         cfg.Controller,
 		timeout:      cfg.BatchTimeout,
 		in:           make(chan *request, depth),
@@ -159,17 +207,23 @@ func (q *Queue) Adaptive() *Adaptive { return q.adapt }
 // Submit enqueues x and blocks until its prediction is rendered, the
 // context is cancelled, or the queue closes.
 func (q *Queue) Submit(ctx context.Context, x []float64) (container.Prediction, error) {
-	ch, err := q.SubmitAsync(ctx, x)
-	if err != nil {
+	req := reqPool.Get().(*request)
+	req.x, req.enq = x, time.Now()
+	if err := q.submit(ctx, req); err != nil {
+		req.x = nil
+		reqPool.Put(req) // never enqueued, still exclusively ours
 		return container.Prediction{}, err
 	}
 	select {
-	case res, ok := <-ch:
-		if !ok {
-			return container.Prediction{}, ErrQueueClosed
-		}
+	case res := <-req.done:
+		// The request's one Result has been sent and received: nothing
+		// else holds the request, so recycle it.
+		req.x = nil
+		reqPool.Put(req)
 		return res.Pred, res.Err
 	case <-ctx.Done():
+		// Abandoned: the dispatch side may still deliver into req.done.
+		// The request leaks to the GC rather than being pooled dirty.
 		return container.Prediction{}, ctx.Err()
 	}
 }
@@ -177,21 +231,31 @@ func (q *Queue) Submit(ctx context.Context, x []float64) (container.Prediction, 
 // SubmitAsync enqueues x and returns a channel that will receive exactly
 // one Result (or be closed if the queue shuts down first).
 func (q *Queue) SubmitAsync(ctx context.Context, x []float64) (<-chan Result, error) {
+	// Not pooled: the caller keeps the channel, so the request is never
+	// provably ours again.
 	req := &request{x: x, enq: time.Now(), done: make(chan Result, 1)}
+	if err := q.submit(ctx, req); err != nil {
+		return nil, err
+	}
+	return req.done, nil
+}
+
+// submit performs the fenced send into the queue.
+func (q *Queue) submit(ctx context.Context, req *request) error {
 	q.submitMu.RLock()
 	defer q.submitMu.RUnlock()
 	select {
 	case <-q.stop:
-		return nil, ErrQueueClosed
+		return ErrQueueClosed
 	default:
 	}
 	select {
 	case q.in <- req:
-		return req.done, nil
+		return nil
 	case <-q.stop:
-		return nil, ErrQueueClosed
+		return ErrQueueClosed
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return ctx.Err()
 	}
 }
 
@@ -279,6 +343,7 @@ func (q *Queue) dispatchLoop() {
 			// batch inline instead of paying a goroutine spawn per batch —
 			// this is exactly the paper's one-batch-at-a-time dispatcher.
 			q.runBatch(batch)
+			putBatch(batch)
 			q.releaseSlot()
 			continue
 		}
@@ -287,6 +352,7 @@ func (q *Queue) dispatchLoop() {
 			defer q.wg.Done()
 			defer q.releaseSlot()
 			q.runBatch(batch)
+			putBatch(batch)
 		}()
 	}
 }
@@ -295,6 +361,10 @@ func (q *Queue) dispatchLoop() {
 // container, feeds the controller, and delivers exactly one Result per
 // request.
 func (q *Queue) runBatch(batch []*request) {
+	if q.flat != nil {
+		q.runBatchFlat(batch)
+		return
+	}
 	dispatch := time.Now()
 	xs := make([][]float64, len(batch))
 	for i, r := range batch {
@@ -331,6 +401,54 @@ func (q *Queue) runBatch(batch []*request) {
 	}
 }
 
+// runBatchFlat is runBatch over the flat data plane: the batch
+// accumulates straight into a pooled flat tensor (no [][]float64
+// assembly), and results scatter from the response view into each
+// submitter's Result slot as the client decodes them. Telemetry and the
+// exactly-one-Result contract are identical to runBatch; on error, rows
+// already delivered (none, under PredictViewContext's all-or-nothing
+// contract — the prefix tracking is defense in depth against a deliver
+// panic mid-scatter) keep their predictions and the rest get the error.
+func (q *Queue) runBatchFlat(batch []*request) {
+	dispatch := time.Now()
+	v := container.GetBatchView()
+	for _, r := range batch {
+		v.AppendRow(r.x)
+		q.QueueDelay.ObserveDuration(dispatch.Sub(r.enq))
+	}
+	start := time.Now()
+	next := 0 // rows [0, next) have received their Result
+	err := q.predictView(v, func(i int, p container.Prediction) {
+		batch[i].done <- Result{Pred: p}
+		next = i + 1
+	})
+	lat := time.Since(start)
+	container.PutBatchView(v)
+	q.ctrl.Observe(len(batch), lat)
+	if q.adapt != nil {
+		q.adapt.ObserveBatch(len(batch), lat)
+	}
+	q.BatchLatency.ObserveDuration(lat)
+	q.BatchSizes.Observe(float64(len(batch)))
+	q.Throughput.Mark(int64(len(batch)))
+	if err != nil {
+		for _, r := range batch[next:] {
+			r.done <- Result{Err: err}
+		}
+	}
+}
+
+// predictView invokes the container's flat path with the same panic
+// isolation as predictBatch.
+func (q *Queue) predictView(v *container.BatchView, deliver func(i int, p container.Prediction)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("batching: container panicked: %v", r)
+		}
+	}()
+	return q.flat.PredictViewContext(context.Background(), v, deliver)
+}
+
 // predictBatch invokes the container, converting panics into errors: a
 // misbehaving model must fail its batch, not kill its pipeline worker and
 // hang every caller in the batch (the isolation §4.4 promises).
@@ -350,8 +468,7 @@ func (q *Queue) collect(first *request) []*request {
 	if max < 1 {
 		max = 1
 	}
-	batch := make([]*request, 1, max)
-	batch[0] = first
+	batch := append(batchPool.Get().([]*request), first)
 	if q.timeout > 0 {
 		timer := time.NewTimer(q.timeout)
 		defer timer.Stop()

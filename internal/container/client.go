@@ -2,6 +2,7 @@ package container
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"sync"
 	"time"
@@ -157,6 +158,69 @@ func (r *Remote) PredictBatchContext(ctx context.Context, xs [][]float64) ([]Pre
 		return nil, err
 	}
 	return preds, nil
+}
+
+// PredictViewContext sends a flat-collected batch and scatters the
+// decoded results straight into the caller's slots: deliver is invoked
+// exactly once per row, in row order, if and only if the call succeeds —
+// on error no deliver call has been made. This is the tensor-native data
+// plane end to end: the batch view encodes into a pooled buffer with no
+// per-query rows (AppendBatchView), and the response decodes into a
+// pooled PredictionView whose labels and scores scatter to the caller
+// before the frame lease is released.
+//
+// Scores handed to deliver are caller-owned copies sharing one per-batch
+// backing array (the same sharing DecodePredictions gives); label-only
+// responses allocate nothing. The view v is fully encoded before
+// PredictViewContext uses the wire, so the caller may reuse it as soon as
+// the call returns.
+func (r *Remote) PredictViewContext(ctx context.Context, v *BatchView, deliver func(i int, p Prediction)) error {
+	r.mu.Lock()
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
+		return ErrContainerClosed
+	}
+	buf := encBufPool.Get().(*[]byte)
+	payload := AppendBatchView((*buf)[:0], v)
+	raw, err := r.client.Call(ctx, rpc.MethodPredict, payload)
+	putEncBuf(buf, payload)
+	if err != nil {
+		return err
+	}
+	pv := getPredView()
+	err = DecodePredictionView(raw.Data, pv)
+	// Client-side release point: DecodePredictionView copied every label
+	// and score out of the frame body into the pooled view, so the lease
+	// ends here — before validation and the scatter, neither of which
+	// touches the payload.
+	raw.Release()
+	if err != nil {
+		putPredView(pv)
+		return err
+	}
+	if pv.Count() != v.Rows() {
+		putPredView(pv)
+		return fmt.Errorf("container: got %d predictions for %d inputs", pv.Count(), v.Rows())
+	}
+	// Scatter. The pooled view's score tensor is about to be reused, so
+	// rows that carry scores are copied out into one batch-shared backing
+	// array the callers own; labels scatter directly.
+	var backing []float64
+	if len(pv.Scores) > 0 {
+		backing = make([]float64, len(pv.Scores))
+		copy(backing, pv.Scores)
+	}
+	for i := 0; i < pv.Count(); i++ {
+		p := Prediction{Label: pv.Label(i)}
+		lo, hi := pv.offsets[i], pv.offsets[i+1]
+		if lo < hi {
+			p.Scores = backing[lo:hi:hi]
+		}
+		deliver(i, p)
+	}
+	putPredView(pv)
+	return nil
 }
 
 // Ping checks container liveness.

@@ -89,6 +89,55 @@ func FuzzDecodePredictions(f *testing.F) {
 	})
 }
 
+// FuzzDecodePredictionView cross-checks the flat response decoder against
+// DecodePredictions: same accept/reject decision on every input, same
+// labels and scores by position, and byte-identical re-encoding through
+// AppendPredictionView vs EncodePredictions.
+func FuzzDecodePredictionView(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // hostile count
+	f.Add(EncodePredictions([]Prediction{{Label: 1, Scores: []float64{0.5, 0.5}}}))
+	f.Add(EncodePredictions([]Prediction{{Label: -1}, {Label: 2}})) // label-only
+	f.Add(EncodePredictions([]Prediction{
+		{Label: 0, Scores: []float64{1}}, {Label: 1}, {Label: 2, Scores: []float64{2, 3}},
+	})) // ragged
+	full := EncodePredictions([]Prediction{{Label: 0, Scores: []float64{1, 2, 3}}})
+	f.Add(full[:len(full)-5]) // truncated scores
+	f.Fuzz(func(t *testing.T, data []byte) {
+		preds, err := DecodePredictions(data)
+		var v PredictionView
+		verr := DecodePredictionView(data, &v)
+		if (err == nil) != (verr == nil) {
+			t.Fatalf("DecodePredictions err=%v but DecodePredictionView err=%v", err, verr)
+		}
+		if err != nil {
+			return
+		}
+		if v.Count() != len(preds) {
+			t.Fatalf("view has %d predictions, DecodePredictions %d", v.Count(), len(preds))
+		}
+		for i, p := range preds {
+			if v.Label(i) != p.Label {
+				t.Fatalf("prediction %d: view label %d, struct label %d", i, v.Label(i), p.Label)
+			}
+			s := v.ScoresOf(i)
+			if len(s) != len(p.Scores) {
+				t.Fatalf("prediction %d: view %d scores, struct %d", i, len(s), len(p.Scores))
+			}
+			for j := range s {
+				if s[j] != p.Scores[j] && !(math.IsNaN(s[j]) && math.IsNaN(p.Scores[j])) {
+					t.Fatalf("prediction %d score %d: view %v, struct %v", i, j, s[j], p.Scores[j])
+				}
+			}
+		}
+		// Both encoders must serialize the decoded set to identical bytes.
+		if !bytes.Equal(AppendPredictionView(nil, &v), EncodePredictions(preds)) {
+			t.Fatal("AppendPredictionView bytes differ from EncodePredictions")
+		}
+	})
+}
+
 // TestHostileRowCountDoesNotAllocate pins the validation order both batch
 // decoders share: a huge claimed row count over a tiny buffer must fail
 // in the header scan, before anything is sized from attacker-controlled

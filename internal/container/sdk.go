@@ -33,6 +33,55 @@ func NewLabelFunc(info Info, label func(x []float64) int) *Func {
 	})
 }
 
+// FuncView adapts a flat view-prediction function to the ViewPredictor
+// interface — the tensor-native SDK shape: the function reads the batch
+// straight off the flat tensor and writes results into the pooled
+// response view.
+type FuncView struct {
+	info Info
+	fn   func(v BatchView, out *PredictionView) error
+}
+
+var _ ViewPredictor = (*FuncView)(nil)
+
+// NewFuncView wraps fn as a ViewPredictor with the given identity.
+func NewFuncView(info Info, fn func(v BatchView, out *PredictionView) error) *FuncView {
+	return &FuncView{info: info, fn: fn}
+}
+
+// Info implements Predictor.
+func (f *FuncView) Info() Info { return f.info }
+
+// PredictView implements ViewPredictor.
+func (f *FuncView) PredictView(v BatchView, out *PredictionView) error {
+	return f.fn(v, out)
+}
+
+// PredictBatch implements Predictor by adapting rows through the flat
+// views — correctness fallback for callers that bypass the view path.
+func (f *FuncView) PredictBatch(xs [][]float64) ([]Prediction, error) {
+	var v BatchView
+	for _, x := range xs {
+		v.AppendRow(x)
+	}
+	var out PredictionView
+	if err := f.fn(v, &out); err != nil {
+		return nil, err
+	}
+	preds := make([]Prediction, out.Count())
+	for i := range preds {
+		p := Prediction{Label: out.Label(i)}
+		if s := out.ScoresOf(i); s != nil {
+			p.Scores = append([]float64(nil), s...)
+		}
+		preds[i] = p
+	}
+	if err := Validate(preds, len(xs)); err != nil {
+		return nil, fmt.Errorf("container %s: %w", f.info.Name, err)
+	}
+	return preds, nil
+}
+
 // Info implements Predictor.
 func (f *Func) Info() Info { return f.info }
 

@@ -28,23 +28,53 @@ func putView(v *BatchView) {
 	viewPool.Put(v)
 }
 
+// GetBatchView leases an empty BatchView from the shared pool. It is the
+// producer-side twin of the handler's decode views: the batching queue's
+// flat collector accumulates each batch into one (AppendRow), sends it,
+// and returns it with PutBatchView once the batch has delivered.
+func GetBatchView() *BatchView {
+	v := viewPool.Get().(*BatchView)
+	v.Reset()
+	return v
+}
+
+// PutBatchView returns a leased view to the shared pool, subject to the
+// same 1 MiB retention cap as every pooled buffer in the data plane.
+// Reports whether the view was pooled (exercised by the retention
+// regression test).
+func PutBatchView(v *BatchView) bool {
+	if cap(v.Data) > maxPooledViewFloats || cap(v.offsets) > maxPooledViewFloats {
+		return false
+	}
+	viewPool.Put(v)
+	return true
+}
+
 // Handler adapts a Predictor to the RPC server's handler signature,
-// implementing the container side of the narrow-waist protocol. When p
-// also implements TensorPredictor, predict requests decode through the
-// zero-copy BatchView path; otherwise they take the [][]float64 path.
-// Either way the payload is fully copied out before the handler returns,
-// satisfying the rpc.Handler payload-lifetime contract.
+// implementing the container side of the narrow-waist protocol. Dispatch
+// prefers the flattest path the predictor supports: a ViewPredictor
+// serves payload → BatchView → flat PredictionView → scratch with no
+// per-query structures at all; a TensorPredictor gets the zero-copy
+// request decode but returns []Prediction; a plain Predictor takes the
+// [][]float64 path, byte-for-byte unchanged on the wire. Every path
+// copies the payload out before returning and appends its response into
+// the server's pooled scratch, satisfying both sides of the rpc.Handler
+// payload-lifetime contract.
 func Handler(p Predictor) rpc.Handler {
+	vp, _ := p.(ViewPredictor)
 	tp, _ := p.(TensorPredictor)
-	return func(method rpc.Method, payload []byte) ([]byte, error) {
+	return func(method rpc.Method, payload, scratch []byte) ([]byte, error) {
 		switch method {
 		case rpc.MethodPredict:
 			// One Info lookup per batch. This used to sit inside the
 			// per-query dim-check loop — an interface call (and for some
 			// predictors a lock) per query on the hot path.
 			info := p.Info()
+			if vp != nil {
+				return predictView(vp, info, payload, scratch)
+			}
 			if tp != nil {
-				return predictTensor(tp, info, payload)
+				return predictTensor(tp, info, payload, scratch)
 			}
 			xs, err := DecodeBatch(payload)
 			if err != nil {
@@ -65,7 +95,7 @@ func Handler(p Predictor) rpc.Handler {
 			if err := Validate(preds, len(xs)); err != nil {
 				return nil, err
 			}
-			return EncodePredictions(preds), nil
+			return AppendPredictions(scratch, preds), nil
 		case rpc.MethodInfo:
 			return EncodeInfo(p.Info()), nil
 		default:
@@ -74,22 +104,31 @@ func Handler(p Predictor) rpc.Handler {
 	}
 }
 
+// checkViewDim validates a decoded batch's row widths against the model's
+// advertised input dimensionality, reporting the same error (same
+// offending query index) as the [][]float64 path.
+func checkViewDim(v *BatchView, info Info) error {
+	if dim := info.InputDim; dim > 0 && v.Rows() > 0 && v.Dim() != dim {
+		for i := 0; i < v.Rows(); i++ {
+			if n := len(v.Row(i)); n != dim {
+				return fmt.Errorf("container: query %d has dim %d, model %s wants %d",
+					i, n, info.Name, dim)
+			}
+		}
+	}
+	return nil
+}
+
 // predictTensor serves one predict request through the flat-tensor fast
 // path: payload → pooled BatchView → PredictTensor → encoded predictions.
-func predictTensor(tp TensorPredictor, info Info, payload []byte) ([]byte, error) {
+func predictTensor(tp TensorPredictor, info Info, payload, scratch []byte) ([]byte, error) {
 	v := viewPool.Get().(*BatchView)
 	defer putView(v)
 	if err := DecodeBatchView(payload, v); err != nil {
 		return nil, err
 	}
-	if dim := info.InputDim; dim > 0 && v.Rows() > 0 && v.Dim() != dim {
-		// Same error, same query index, as the [][]float64 path reports.
-		for i := 0; i < v.Rows(); i++ {
-			if n := len(v.Row(i)); n != dim {
-				return nil, fmt.Errorf("container: query %d has dim %d, model %s wants %d",
-					i, n, info.Name, dim)
-			}
-		}
+	if err := checkViewDim(v, info); err != nil {
+		return nil, err
 	}
 	preds, err := tp.PredictTensor(*v)
 	if err != nil {
@@ -98,7 +137,33 @@ func predictTensor(tp TensorPredictor, info Info, payload []byte) ([]byte, error
 	if err := Validate(preds, v.Rows()); err != nil {
 		return nil, err
 	}
-	return EncodePredictions(preds), nil
+	return AppendPredictions(scratch, preds), nil
+}
+
+// predictView serves one predict request tensor-native in both
+// directions: payload → pooled BatchView → PredictView into a pooled
+// PredictionView → encoded straight from the flat response tensor into
+// the server's scratch. Steady state allocates nothing.
+func predictView(vp ViewPredictor, info Info, payload, scratch []byte) ([]byte, error) {
+	v := viewPool.Get().(*BatchView)
+	defer putView(v)
+	if err := DecodeBatchView(payload, v); err != nil {
+		return nil, err
+	}
+	if err := checkViewDim(v, info); err != nil {
+		return nil, err
+	}
+	out := getPredView()
+	defer putPredView(out)
+	out.Reset()
+	if err := vp.PredictView(*v, out); err != nil {
+		return nil, err
+	}
+	if out.Count() != v.Rows() {
+		// The flat rendering of Validate's misbehaving-container guard.
+		return nil, fmt.Errorf("container: got %d predictions for %d inputs", out.Count(), v.Rows())
+	}
+	return AppendPredictionView(scratch, out), nil
 }
 
 // Serve hosts p as an RPC model container listening on addr (":0" picks a

@@ -83,6 +83,24 @@ type TensorPredictor interface {
 	PredictTensor(v BatchView) ([]Prediction, error)
 }
 
+// ViewPredictor is optionally implemented by Predictors that can write a
+// whole batch's outputs straight into a flat PredictionView. It is the
+// response-direction completion of TensorPredictor: the RPC Handler
+// prefers it above every other path, so a request served by a
+// ViewPredictor flows payload → BatchView → flat score tensor → wire
+// with no per-query Prediction structs or score slices on either side.
+type ViewPredictor interface {
+	Predictor
+	// PredictView fills out with exactly one prediction per row of v —
+	// identical labels and scores, bit for bit, to what PredictBatch
+	// returns for the equivalent [][]float64 input. Both views are pooled:
+	// v is valid only for the duration of the call, and out must not be
+	// retained or aliased after return. Implementations start from
+	// out.Reset() or out.Size(...) — the view arrives holding a previous
+	// batch's data.
+	PredictView(v BatchView, out *PredictionView) error
+}
+
 // ErrContainerClosed is returned by predictions issued to a closed
 // container.
 var ErrContainerClosed = errors.New("container: closed")

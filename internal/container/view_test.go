@@ -136,7 +136,7 @@ func (p *tensorSpy) PredictTensor(v BatchView) ([]Prediction, error) {
 func TestHandlerPrefersTensorPath(t *testing.T) {
 	xs := [][]float64{{1, 10}, {2, 20}, {3, 30}}
 	spy := &tensorSpy{info: Info{Name: "spy", Version: 1, InputDim: 2}}
-	tensorResp, err := Handler(spy)(rpc.MethodPredict, EncodeBatch(xs))
+	tensorResp, err := Handler(spy)(rpc.MethodPredict, EncodeBatch(xs), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestHandlerPrefersTensorPath(t *testing.T) {
 		}
 		return out, nil
 	})
-	rowsResp, err := Handler(plain)(rpc.MethodPredict, EncodeBatch(xs))
+	rowsResp, err := Handler(plain)(rpc.MethodPredict, EncodeBatch(xs), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestHandlerPrefersTensorPath(t *testing.T) {
 func TestHandlerTensorDimError(t *testing.T) {
 	bad := [][]float64{{1, 10}, {2}, {3, 30}} // query 1 has dim 1
 	spy := &tensorSpy{info: Info{Name: "spy", Version: 1, InputDim: 2}}
-	_, terr := Handler(spy)(rpc.MethodPredict, EncodeBatch(bad))
+	_, terr := Handler(spy)(rpc.MethodPredict, EncodeBatch(bad), nil)
 	if terr == nil {
 		t.Fatal("tensor path accepted a dim mismatch")
 	}
@@ -176,7 +176,7 @@ func TestHandlerTensorDimError(t *testing.T) {
 		t.Fatal("predictor ran despite dim mismatch")
 	}
 	plain := NewFunc(spy.info, func(xs [][]float64) ([]Prediction, error) { return nil, nil })
-	_, rerr := Handler(plain)(rpc.MethodPredict, EncodeBatch(bad))
+	_, rerr := Handler(plain)(rpc.MethodPredict, EncodeBatch(bad), nil)
 	if rerr == nil {
 		t.Fatal("rows path accepted a dim mismatch")
 	}

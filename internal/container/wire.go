@@ -121,6 +121,32 @@ func (v *BatchView) Rows() int {
 	return len(v.offsets) - 1
 }
 
+// Reset empties the view while keeping its backing arrays, so a pooled
+// view accumulates the next batch without reallocating.
+func (v *BatchView) Reset() {
+	v.Data = v.Data[:0]
+	v.offsets = v.offsets[:0]
+	v.dim = 0
+}
+
+// AppendRow copies x into the view as its next row. This is the batching
+// queue's flat collection primitive: submits accumulate straight into one
+// tensor, so no [][]float64 batch is ever assembled. With a reused view
+// the steady-state append allocates nothing once the backing arrays have
+// grown to the working batch size.
+func (v *BatchView) AppendRow(x []float64) {
+	if len(v.offsets) == 0 {
+		v.offsets = append(v.offsets, 0)
+	}
+	v.Data = append(v.Data, x...)
+	v.offsets = append(v.offsets, len(v.Data))
+	if len(v.offsets) == 2 {
+		v.dim = len(x)
+	} else if v.dim != len(x) {
+		v.dim = -1
+	}
+}
+
 // Dim returns the uniform row width when every row has the same length
 // (0 for an empty batch), or -1 when rows are ragged.
 func (v *BatchView) Dim() int { return v.dim }
@@ -186,30 +212,85 @@ func DecodeBatchView(buf []byte, v *BatchView) error {
 	return nil
 }
 
+// AppendBatchView appends the EncodeBatch serialization of the flat batch
+// v to dst and returns the extended slice. The bytes are identical to
+// AppendBatch of the equivalent [][]float64 rows — this is how a
+// flat-collected batch (batching's tensor collector) reaches the wire
+// without ever materializing per-query row slices.
+func AppendBatchView(dst []byte, v *BatchView) []byte {
+	rows := v.Rows()
+	need := 4 + 4*rows + 8*len(v.Data)
+	off := len(dst)
+	if cap(dst)-off < need {
+		grown := make([]byte, off, off+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:off+need]
+	binary.LittleEndian.PutUint32(dst[off:], uint32(rows))
+	off += 4
+	for r := 0; r < rows; r++ {
+		row := v.Data[v.offsets[r]:v.offsets[r+1]]
+		binary.LittleEndian.PutUint32(dst[off:], uint32(len(row)))
+		off += 4
+		for _, val := range row {
+			binary.LittleEndian.PutUint64(dst[off:], math.Float64bits(val))
+			off += 8
+		}
+	}
+	return dst
+}
+
+// emptyPredictions is the canonical zero-count predictions payload.
+// EncodePredictions returns it for empty sets so that the empty encode
+// allocates nothing; callers must treat encoder output as read-only.
+var emptyPredictions = [4]byte{}
+
 // EncodePredictions serializes model outputs.
 //
 // Layout: u32 count, then per prediction: i32 label, u32 scoreLen,
 // f64 × scoreLen.
+//
+// An empty prediction set short-circuits to a shared zero-count payload
+// without allocating a backing array (the encode-side mirror of
+// DecodeBatch's total == 0 guard). Hot-path callers append into pooled
+// buffers via AppendPredictions instead.
 func EncodePredictions(preds []Prediction) []byte {
-	size := 4
-	for _, p := range preds {
-		size += 4 + 4 + 8*len(p.Scores)
+	if len(preds) == 0 {
+		return emptyPredictions[:]
 	}
-	buf := make([]byte, size)
-	off := 0
-	binary.LittleEndian.PutUint32(buf[off:], uint32(len(preds)))
+	return AppendPredictions(nil, preds)
+}
+
+// AppendPredictions appends the EncodePredictions serialization of preds
+// to dst and returns the extended slice. The container Handler encodes
+// every response through it into the server's pooled scratch buffer, so
+// steady-state response encoding allocates nothing.
+func AppendPredictions(dst []byte, preds []Prediction) []byte {
+	need := 4
+	for _, p := range preds {
+		need += 4 + 4 + 8*len(p.Scores)
+	}
+	off := len(dst)
+	if cap(dst)-off < need {
+		grown := make([]byte, off, off+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:off+need]
+	binary.LittleEndian.PutUint32(dst[off:], uint32(len(preds)))
 	off += 4
 	for _, p := range preds {
-		binary.LittleEndian.PutUint32(buf[off:], uint32(int32(p.Label)))
+		binary.LittleEndian.PutUint32(dst[off:], uint32(int32(p.Label)))
 		off += 4
-		binary.LittleEndian.PutUint32(buf[off:], uint32(len(p.Scores)))
+		binary.LittleEndian.PutUint32(dst[off:], uint32(len(p.Scores)))
 		off += 4
 		for _, s := range p.Scores {
-			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(s))
+			binary.LittleEndian.PutUint64(dst[off:], math.Float64bits(s))
 			off += 8
 		}
 	}
-	return buf
+	return dst
 }
 
 // DecodePredictions reverses EncodePredictions. All score vectors share

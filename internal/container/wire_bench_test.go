@@ -100,3 +100,39 @@ func BenchmarkDecodePredictions(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkDecodePredictionView measures the flat response decode into a
+// reused view: allocation-free in steady state at any response size (the
+// path Remote.PredictViewContext scatters results from).
+func BenchmarkDecodePredictionView(b *testing.B) {
+	for _, rows := range []int{16, 64, 512} {
+		b.Run(fmt.Sprintf("rows%d", rows), func(b *testing.B) {
+			buf := EncodePredictions(benchPreds(rows, 10))
+			var v PredictionView
+			if err := DecodePredictionView(buf, &v); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(buf)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := DecodePredictionView(buf, &v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAppendPredictions measures the hot-path response encoder
+// reusing one buffer (zero allocations in steady state, as the server's
+// leased scratch path does).
+func BenchmarkAppendPredictions(b *testing.B) {
+	preds := benchPreds(64, 10)
+	buf := AppendPredictions(nil, preds)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendPredictions(buf[:0], preds)
+	}
+}

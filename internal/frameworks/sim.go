@@ -28,6 +28,7 @@ type SimPredictor struct {
 var (
 	_ container.Predictor       = (*SimPredictor)(nil)
 	_ container.TensorPredictor = (*SimPredictor)(nil)
+	_ container.ViewPredictor   = (*SimPredictor)(nil)
 )
 
 // NewSimPredictor wraps model with profile. inputDim 0 disables input-shape
@@ -121,6 +122,49 @@ func (p *SimPredictor) PredictTensor(v container.BatchView) ([]container.Predict
 	}
 	SleepUntil(start.Add(target))
 	return out, nil
+}
+
+// PredictView implements container.ViewPredictor: the same predictions
+// (labels and scores, bit for bit) as PredictBatch and PredictTensor,
+// written straight into the flat response view. With a FlatScorer model
+// and a uniform-width batch the scored path is tensor-native end to end:
+// one Size call shapes the pooled view, ScoresFlat fills its flat score
+// tensor in place, and labels are argmaxed off the rows — no per-query
+// structures on either side. Ragged or non-flat models fall back to the
+// per-row path through Append.
+func (p *SimPredictor) PredictView(v container.BatchView, out *container.PredictionView) error {
+	start := time.Now()
+	rows := v.Rows()
+	p.mu.Lock()
+	target := p.profile.BatchDuration(rows, p.rng)
+	p.mu.Unlock()
+
+	fs, flat := p.model.(models.FlatScorer)
+	if dim := v.Dim(); flat && rows > 0 && dim > 0 {
+		nc := p.model.NumClasses()
+		if p.scorer != nil {
+			scores := out.Size(rows, nc)
+			fs.ScoresFlat(v.Data, rows, dim, scores)
+			for r := 0; r < rows; r++ {
+				out.Labels[r] = models.Argmax(scores[r*nc : (r+1)*nc])
+			}
+		} else {
+			out.Size(rows, 0)
+			models.PredictFlat(fs, nc, v.Data, rows, dim, out.Labels)
+		}
+	} else {
+		out.Reset()
+		for r := 0; r < rows; r++ {
+			x := v.Row(r)
+			if p.scorer != nil {
+				out.Append(p.model.Predict(x), p.scorer.Scores(x))
+			} else {
+				out.Append(p.model.Predict(x), nil)
+			}
+		}
+	}
+	SleepUntil(start.Add(target))
+	return nil
 }
 
 // SleepUntil blocks until the deadline with sub-millisecond precision:

@@ -72,6 +72,18 @@ func (c *Client) Stats() ConnStats {
 // connection failed).
 var ErrClientClosed = errors.New("rpc: client closed")
 
+// callChPool recycles the per-call correlation channels, the last
+// per-call allocation on the request hot path. A channel is safe to pool
+// once its call has fully completed: on the normal and error-response
+// paths the caller has drained the one buffered frame, and on the
+// abandoned path abandon() guarantees the channel is empty (the pending
+// entry is gone and any raced response was drained under mu). Channels a
+// dying connection closes in failAll are never pooled — a closed channel
+// is dead.
+var callChPool = sync.Pool{
+	New: func() any { return make(chan *Frame, 1) },
+}
+
 // Payload is a leased response payload returned by Call. Data aliases a
 // pooled frame body; the caller owns the lease and must call Release
 // exactly once when it is done with Data — for the prediction path that
@@ -201,7 +213,7 @@ func (c *Client) Call(ctx context.Context, method Method, payload []byte) (Paylo
 	}
 	c.nextID++
 	id := c.nextID
-	ch := make(chan *Frame, 1)
+	ch := callChPool.Get().(chan *Frame)
 	c.pending[id] = ch
 	c.mu.Unlock()
 
@@ -221,15 +233,19 @@ func (c *Client) Call(ctx context.Context, method Method, payload []byte) (Paylo
 	c.writes.Add(1)
 	c.writeMu.Unlock()
 	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
+		// abandon (not a bare delete) so a response that raced the write
+		// failure is found and released, leaving the channel empty.
+		if c.abandon(id, ch) {
+			callChPool.Put(ch)
+		}
 		return Payload{}, err
 	}
 
 	select {
 	case f, ok := <-ch:
 		if !ok {
+			// failAll closed this channel; a closed channel is dead and
+			// never pooled.
 			c.mu.Lock()
 			err := c.readErr
 			c.mu.Unlock()
@@ -238,6 +254,7 @@ func (c *Client) Call(ctx context.Context, method Method, payload []byte) (Paylo
 			}
 			return Payload{}, err
 		}
+		callChPool.Put(ch)
 		if f.Type == MsgError {
 			msg := string(f.Payload)
 			f.Release()
@@ -245,7 +262,9 @@ func (c *Client) Call(ctx context.Context, method Method, payload []byte) (Paylo
 		}
 		return Payload{Data: f.Payload, frame: f}, nil
 	case <-ctx.Done():
-		c.abandon(id, ch)
+		if c.abandon(id, ch) {
+			callChPool.Put(ch)
+		}
 		return Payload{}, ctx.Err()
 	}
 }
@@ -255,21 +274,40 @@ func (c *Client) Call(ctx context.Context, method Method, payload []byte) (Paylo
 // before removing the entry), so a non-blocking drain reliably finds the
 // frame and releases its lease — late responses never corrupt the body
 // pool or leak.
-func (c *Client) abandon(id uint64, ch chan *Frame) {
+//
+// It reports whether ch is safe to return to callChPool: false when the
+// channel may still be (or already is) in failAll's hands — failAll
+// snapshots the pending map under mu and closes every snapshotted
+// channel afterwards, so a channel abandoned on a dying client must be
+// leaked to the GC rather than pooled, or the pool would hand out a
+// channel that gets closed (again) under it.
+func (c *Client) abandon(id uint64, ch chan *Frame) bool {
 	c.mu.Lock()
 	if _, ok := c.pending[id]; ok {
+		// Entry still ours: no response was delivered (the read loop
+		// delivers under mu before removing the entry) and failAll has not
+		// snapshotted it (it would have taken the entry). Empty and
+		// unshared → poolable.
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return
+		return true
 	}
+	dying := c.closed
 	c.mu.Unlock()
 	select {
 	case f, ok := <-ch:
-		if ok {
-			f.Release()
+		if !ok {
+			return false // failAll closed it
 		}
+		// The read loop delivered before we abandoned — it consumed the
+		// entry, so failAll never saw this channel. Drained → poolable.
+		f.Release()
+		return true
 	default:
 	}
+	// Empty with the entry gone: only a dying client's failAll snapshot
+	// explains that, and it will close ch shortly.
+	return !dying
 }
 
 // Ping round-trips a heartbeat frame.
@@ -281,7 +319,7 @@ func (c *Client) Ping(ctx context.Context) error {
 	}
 	c.nextID++
 	id := c.nextID
-	ch := make(chan *Frame, 1)
+	ch := callChPool.Get().(chan *Frame)
 	c.pending[id] = ch
 	c.mu.Unlock()
 
@@ -292,9 +330,9 @@ func (c *Client) Ping(ctx context.Context) error {
 		// Release the correlation entry, as Call does on this path: a
 		// failed write gets no reply, and leaking the entry would grow
 		// pending forever on a flapping connection.
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
+		if c.abandon(id, ch) {
+			callChPool.Put(ch)
+		}
 		return err
 	}
 	select {
@@ -302,6 +340,7 @@ func (c *Client) Ping(ctx context.Context) error {
 		if !ok {
 			return ErrClientClosed
 		}
+		callChPool.Put(ch)
 		typ := f.Type
 		f.Release()
 		if typ != MsgPong {
@@ -309,7 +348,9 @@ func (c *Client) Ping(ctx context.Context) error {
 		}
 		return nil
 	case <-ctx.Done():
-		c.abandon(id, ch)
+		if c.abandon(id, ch) {
+			callChPool.Put(ch)
+		}
 		return ctx.Err()
 	}
 }

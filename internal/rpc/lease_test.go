@@ -83,7 +83,7 @@ func TestErrorAndPingResponsesReleased(t *testing.T) {
 func TestCancelledCallLateResponseReleased(t *testing.T) {
 	base := activeLeases.Load()
 	release := make(chan struct{})
-	addr, stop := startServer(t, func(m Method, p []byte) ([]byte, error) {
+	addr, stop := startServer(t, func(m Method, p, scratch []byte) ([]byte, error) {
 		<-release
 		return bytes.Repeat([]byte("r"), 1024), nil
 	})
@@ -119,11 +119,11 @@ func TestCancelledCallLateResponseReleased(t *testing.T) {
 // buffer; leaks show up as a lease count that never settles.
 func TestLeaseStressCancellationRace(t *testing.T) {
 	base := activeLeases.Load()
-	addr, stop := startServer(t, func(m Method, p []byte) ([]byte, error) {
+	addr, stop := startServer(t, func(m Method, p, scratch []byte) ([]byte, error) {
 		if len(p) > 0 && p[0]&1 == 0 {
 			time.Sleep(time.Duration(p[0]%8) * 100 * time.Microsecond)
 		}
-		return p, nil
+		return append(scratch, p...), nil
 	})
 	defer stop()
 	c, err := Dial(addr, time.Second)

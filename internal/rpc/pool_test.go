@@ -132,9 +132,9 @@ func TestPoolFailoverAndRedial(t *testing.T) {
 
 func TestPoolInFlightCallOnDeadConnFails(t *testing.T) {
 	block := make(chan struct{})
-	d := newPipeDialer(func(method Method, payload []byte) ([]byte, error) {
+	d := newPipeDialer(func(method Method, payload, scratch []byte) ([]byte, error) {
 		<-block
-		return payload, nil
+		return append(scratch, payload...), nil
 	})
 	defer close(block)
 	p := newTestPool(t, d, 1)

@@ -80,10 +80,13 @@ func TestFramePropertyRoundTrip(t *testing.T) {
 }
 
 // echoHandler echoes payloads for MethodPredict and fails MethodInfo.
-func echoHandler(method Method, payload []byte) ([]byte, error) {
+// Per the Handler contract the echo copies into scratch — returning a
+// slice aliasing the request payload is forbidden (the server recycles
+// the returned buffer into its response pool).
+func echoHandler(method Method, payload, scratch []byte) ([]byte, error) {
 	switch method {
 	case MethodPredict:
-		return payload, nil
+		return append(scratch, payload...), nil
 	default:
 		return nil, fmt.Errorf("boom")
 	}
@@ -186,7 +189,7 @@ func TestClientConcurrentCalls(t *testing.T) {
 
 func TestClientContextCancellation(t *testing.T) {
 	block := make(chan struct{})
-	addr, stop := startServer(t, func(Method, []byte) ([]byte, error) {
+	addr, stop := startServer(t, func(Method, []byte, []byte) ([]byte, error) {
 		<-block
 		return nil, nil
 	})
@@ -260,9 +263,9 @@ func TestServerCloseIdempotent(t *testing.T) {
 
 func TestServerSlowRequestDoesNotBlockPing(t *testing.T) {
 	release := make(chan struct{})
-	addr, stop := startServer(t, func(Method, []byte) ([]byte, error) {
+	addr, stop := startServer(t, func(_ Method, _, scratch []byte) ([]byte, error) {
 		<-release
-		return []byte("done"), nil
+		return append(scratch, "done"...), nil
 	})
 	defer stop()
 	defer close(release)

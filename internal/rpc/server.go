@@ -5,20 +5,75 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
-// Handler processes one request and returns the response payload.
+// Handler processes one request and returns the response payload,
+// normally by appending it to scratch.
 //
 // The request payload aliases a pooled frame body whose lease the server
-// loop ends after the handler's response has been written — so a handler
-// may return a response that aliases the payload (echo-style), but must
+// loop ends after the handler's response has been written; a handler must
 // not retain the payload past its return (the codec handlers decode —
 // copy — immediately, which is the intended shape).
-type Handler func(method Method, payload []byte) ([]byte, error)
+//
+// scratch is a leased response body: a pooled buffer, length 0, that the
+// server recycles after the response frame hits the wire. A handler
+// appends its response to scratch and returns the resulting slice — even
+// if the appends outgrow scratch's capacity, the grown buffer's ownership
+// passes to the server and is pooled for the next request, so
+// steady-state response encoding allocates nothing at any stable response
+// size. A handler may instead return a freshly allocated slice it
+// surrenders; what it must NOT return is a slice aliasing the request
+// payload (copy into scratch to echo) or memory it retains, since the
+// server recycles the returned buffer into its response pool.
+type Handler func(method Method, payload, scratch []byte) ([]byte, error)
+
+// Response bodies are pooled separately from read-side frame bodies:
+// they grow to the server's stable response size and obey the same 1 MiB
+// retention cap (one giant response must not pin a giant buffer forever).
+const maxPooledRespBuf = maxPooledBody
+
+var respBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// activeRespBufs counts leased response bodies not yet recycled — the
+// response-direction analogue of activeLeases, asserted to drain back to
+// baseline by the lease tests (including on write-failure paths).
+var activeRespBufs atomic.Int64
+
+func getRespBuf() *[]byte {
+	activeRespBufs.Add(1)
+	return respBufPool.Get().(*[]byte)
+}
+
+// putRespBuf ends a response body's lease, recycling it unless an outlier
+// response grew it past the retention cap (or the handler returned some
+// degenerate tiny slice that is not worth pooling). Reports whether the
+// buffer was pooled (exercised by the retention regression test).
+func putRespBuf(b *[]byte) bool {
+	activeRespBufs.Add(-1)
+	if cap(*b) > maxPooledRespBuf || cap(*b) < 512 {
+		return false
+	}
+	*b = (*b)[:0]
+	respBufPool.Put(b)
+	return true
+}
 
 // Server accepts connections and dispatches framed requests to a Handler.
-// Each request is served on its own goroutine so a slow batch on one
-// request id does not head-of-line-block heartbeats or other requests.
+// Requests are served concurrently — the read loop hands each request
+// frame to an idle worker goroutine (spawning a new one only when every
+// worker is busy, so the pool grows to the connection's peak request
+// concurrency and no further) — so a slow batch on one request id does
+// not head-of-line-block heartbeats or other requests. Reusing workers
+// keeps their stacks warm: a goroutine spawned per request would regrow
+// its stack through the handler's decode/predict/encode chain every
+// time, which profiles as runtime.newstack/copystack at high frame
+// rates.
 type Server struct {
 	handler Handler
 
@@ -97,7 +152,9 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 	}
 	var writeMu sync.Mutex
 	var reqWG sync.WaitGroup
+	reqCh := make(chan *Frame)
 	defer reqWG.Wait()
+	defer close(reqCh)
 	for {
 		f, err := ReadFrame(conn)
 		if err != nil {
@@ -111,29 +168,60 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 			WriteFrame(conn, &Frame{ID: id, Type: MsgPong})
 			writeMu.Unlock()
 		case MsgRequest:
-			reqWG.Add(1)
-			go func(f *Frame) {
-				defer reqWG.Done()
-				resp, err := s.handler(f.Method, f.Payload)
-				out := &Frame{ID: f.ID, Type: MsgResponse, Method: f.Method, Payload: resp}
-				if err != nil {
-					out.Type = MsgError
-					out.Payload = []byte(err.Error())
-				}
-				writeMu.Lock()
-				WriteFrame(conn, out)
-				writeMu.Unlock()
-				// Server-side release point: the handler has returned and
-				// its response — which may alias the request payload — is
-				// on the wire, so the request frame's lease ends here.
-				f.Release()
-			}(f)
+			// Hand the frame to a parked worker if one is waiting;
+			// otherwise every worker is mid-request, so grow the pool.
+			// The handoff never blocks the read loop.
+			select {
+			case reqCh <- f:
+			default:
+				reqWG.Add(1)
+				go s.serveRequests(conn, &writeMu, reqCh, f, &reqWG)
+			}
 		default:
 			// Ignore unexpected frame kinds rather than killing the
 			// connection (forward compatibility) — but end their lease.
 			f.Release()
 		}
 	}
+}
+
+// serveRequests is one request worker: it serves its seed frame, then
+// parks on reqCh for more until the connection's read loop closes it.
+func (s *Server) serveRequests(conn io.ReadWriteCloser, writeMu *sync.Mutex, reqCh <-chan *Frame, f *Frame, wg *sync.WaitGroup) {
+	defer wg.Done()
+	out := new(Frame) // reused response frame; one alloc per worker, not per request
+	for {
+		s.serveRequest(conn, writeMu, f, out)
+		var ok bool
+		if f, ok = <-reqCh; !ok {
+			return
+		}
+	}
+}
+
+func (s *Server) serveRequest(conn io.ReadWriteCloser, writeMu *sync.Mutex, f, out *Frame) {
+	scratch := getRespBuf()
+	resp, err := s.handler(f.Method, f.Payload, (*scratch)[:0])
+	*out = Frame{ID: f.ID, Type: MsgResponse, Method: f.Method, Payload: resp}
+	if err != nil {
+		out.Type = MsgError
+		out.Payload = []byte(err.Error())
+	}
+	writeMu.Lock()
+	WriteFrame(conn, out)
+	writeMu.Unlock()
+	// Server-side release points, in order, after the write
+	// (successful or not — a failed write still ends both
+	// leases): the request frame's body lease ends here, and
+	// the response body is recycled. If the handler's appends
+	// outgrew the scratch, adopt the grown buffer so the pool
+	// converges on the server's stable response size.
+	f.Release()
+	if err == nil && cap(resp) > cap(*scratch) {
+		*scratch = resp[:0]
+	}
+	putRespBuf(scratch)
+	out.Payload = nil // the response body's lease ended; do not retain it in the parked worker
 }
 
 // Close stops accepting, closes all live connections, and waits for

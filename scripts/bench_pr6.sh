@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# bench_pr6.sh — record the PR 6 performance trajectory.
+#
+# Runs the hot-path perf suite and writes the JSON report to
+# BENCH_PR6.json at the repo root. New in this report, alongside the
+# dispatch/pool/adaptive/codec rows carried forward for before/after
+# comparison against BENCH_PR5.json:
+#
+#   - decode_predictions_view_*: the flat response decode
+#     (DecodePredictionView into a reused PredictionView), 0 allocs/op
+#     at any response size, next to decode_predictions_64x10 (the
+#     []Prediction path it bypasses).
+#   - append_predictions_reused_64x10: the response encoder into the
+#     server's pooled leased scratch — 0 allocs/op in steady state.
+#   - loopback_tensor_allocs_per_query: the whole-path allocation bill —
+#     per-query allocations across both sides of a loopback
+#     ViewPredictor round trip at batch 64. The data plane (bodies,
+#     views, scratch, scores, submit-side requests, server request
+#     workers) is pooled and contributes zero; what remains is a tiny
+#     per-batch constant amortized over the batch.
+#   - codec_pipeline_tensor_qps now runs the tensor-native path in both
+#     directions (flat collection + ViewPredictor + flat response); the
+#     echo container answers with a 10-wide score vector per row so the
+#     response direction carries a real tensor, and the rows/tensor pair
+#     is measured as best-of-3 interleaved runs so runner drift cannot
+#     swamp the ratio.
+#
+# The same quantities are available as `go test -bench` benchmarks:
+#
+#   go test -run='^$' -bench='Predictions|ReadFrame|DecodeBatch' -benchmem \
+#       ./internal/rpc/ ./internal/container/
+. "$(dirname "$0")/bench_lib.sh"
+run_perf BENCH_PR6.json -id pr6-tensor-native
+check_report BENCH_PR6.json
