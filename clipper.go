@@ -59,6 +59,28 @@ type (
 	CascadeConfig = core.CascadeConfig
 	// HealthConfig parameterizes replica health monitoring.
 	HealthConfig = core.HealthConfig
+	// SchedulerConfig parameterizes cross-replica dispatch:
+	// join-shortest-queue cost routing with optional straggler hedging.
+	SchedulerConfig = core.SchedulerConfig
+	// HedgeConfig parameterizes hedged dispatch (SchedulerConfig.Hedge).
+	HedgeConfig = core.HedgeConfig
+	// SchedPolicy selects the dispatch strategy (SchedJSQ or
+	// SchedRoundRobin).
+	SchedPolicy = core.SchedPolicy
+	// SchedulerStats is one model's dispatch/hedge counters.
+	SchedulerStats = core.SchedulerStats
+	// ReplicaStatus is one replica's operational snapshot, including the
+	// scheduler's live load estimate.
+	ReplicaStatus = core.ReplicaStatus
+)
+
+// Scheduler policies.
+const (
+	// SchedJSQ routes each query to the replica with the lowest estimated
+	// completion time (the default).
+	SchedJSQ = core.SchedJSQ
+	// SchedRoundRobin restores blind rotation across replicas.
+	SchedRoundRobin = core.SchedRoundRobin
 )
 
 // Model container types.
@@ -105,6 +127,10 @@ type RESTServer = frontend.Server
 
 // New returns a Clipper serving node.
 func New(cfg Config) *Clipper { return core.New(cfg) }
+
+// ParseSchedPolicy parses a dispatch policy name ("jsq", "rr",
+// "round-robin") for Config.Scheduler.Policy.
+func ParseSchedPolicy(s string) (SchedPolicy, error) { return core.ParseSchedPolicy(s) }
 
 // NewAIMD returns Clipper's default adaptive batch-size controller.
 func NewAIMD(cfg AIMDConfig) Controller { return batching.NewAIMD(cfg) }

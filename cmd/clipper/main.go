@@ -31,21 +31,30 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "REST API listen address")
-		slo        = flag.Duration("slo", 20*time.Millisecond, "prediction latency SLO")
-		trainN     = flag.Int("train", 2000, "synthetic training examples")
-		dim        = flag.Int("dim", 64, "feature dimensionality")
-		classes    = flag.Int("classes", 10, "number of classes")
-		containers = flag.String("containers", "", "comma-separated remote model container addresses to deploy")
-		conns      = flag.Int("container-conns", 1, "RPC connections pooled per remote container (1 = single connection; the upper bound with -adaptive)")
-		adaptive   = flag.Bool("adaptive", false, "size each remote container's pipeline window and connection target at runtime instead of pinning them")
-		maxWindow  = flag.Int("max-in-flight", 16, "adaptive pipeline window upper bound (with -adaptive)")
-		storeAddr  = flag.String("store", "", "remote statestore address (empty = in-memory)")
-		statePath  = flag.String("state-file", "", "durable local state file (ignored when -store is set)")
-		noDemo     = flag.Bool("no-demo", false, "skip training/deploying the demo models")
-		health     = flag.Duration("health-interval", time.Second, "replica health probe interval (0 disables)")
+		addr        = flag.String("addr", ":8080", "REST API listen address")
+		slo         = flag.Duration("slo", 20*time.Millisecond, "prediction latency SLO")
+		trainN      = flag.Int("train", 2000, "synthetic training examples")
+		dim         = flag.Int("dim", 64, "feature dimensionality")
+		classes     = flag.Int("classes", 10, "number of classes")
+		containers  = flag.String("containers", "", "comma-separated remote model container addresses to deploy")
+		conns       = flag.Int("container-conns", 1, "RPC connections pooled per remote container (1 = single connection; the upper bound with -adaptive)")
+		adaptive    = flag.Bool("adaptive", false, "size each remote container's pipeline window and connection target at runtime instead of pinning them")
+		maxWindow   = flag.Int("max-in-flight", 16, "adaptive pipeline window upper bound (with -adaptive)")
+		storeAddr   = flag.String("store", "", "remote statestore address (empty = in-memory)")
+		statePath   = flag.String("state-file", "", "durable local state file (ignored when -store is set)")
+		noDemo      = flag.Bool("no-demo", false, "skip training/deploying the demo models")
+		health      = flag.Duration("health-interval", time.Second, "replica health probe interval (0 disables)")
+		schedName   = flag.String("sched", "jsq", "cross-replica dispatch policy: jsq (load-aware) or rr (round-robin)")
+		hedge       = flag.Bool("hedge", false, "hedge straggling requests onto the fastest sibling replica")
+		hedgeBudget = flag.Float64("hedge-budget", 0.1, "max hedges as a fraction of offered load (with -hedge)")
+		hedgeQuant  = flag.Float64("hedge-quantile", 0.9, "per-replica latency quantile deriving the hedge delay (with -hedge)")
 	)
 	flag.Parse()
+
+	policy, err := clipper.ParseSchedPolicy(*schedName)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Selection-state store: remote (the Redis role), durable file, or
 	// in-memory.
@@ -67,7 +76,14 @@ func main() {
 		log.Printf("using durable state file %s", *statePath)
 	}
 
-	cl := clipper.New(clipper.Config{Store: store})
+	cl := clipper.New(clipper.Config{Store: store, Scheduler: clipper.SchedulerConfig{
+		Policy: policy,
+		Hedge: clipper.HedgeConfig{
+			Enabled:    *hedge,
+			BudgetFrac: *hedgeBudget,
+			Quantile:   *hedgeQuant,
+		},
+	}})
 	defer cl.Close()
 
 	var names []string

@@ -1,0 +1,59 @@
+package batching
+
+import "time"
+
+// This file is the queue's load-export surface: replicas push telemetry
+// to the cross-replica scheduler (internal/core) on every queue
+// transition and batch completion, so scheduling decisions read a few
+// atomics instead of polling queues (the callback-over-polling lesson).
+
+// LoadStats is a point-in-time snapshot of one queue's load.
+type LoadStats struct {
+	// Queued is the number of requests buffered in the queue, not yet
+	// collected into a batch.
+	Queued int
+	// InFlightBatches is the number of batches currently inside the
+	// container RPC.
+	InFlightBatches int
+	// InFlightQueries is the number of queries across those batches.
+	InFlightQueries int
+	// Completed is the total queries answered since the queue started.
+	Completed int64
+	// PerQueryService is the EWMA of recent per-query service time
+	// (batch latency divided by batch size). Zero until the first batch
+	// completes — the scheduler treats that as a cold estimate.
+	PerQueryService time.Duration
+}
+
+// LoadStats snapshots the queue's load telemetry.
+func (q *Queue) LoadStats() LoadStats {
+	return LoadStats{
+		Queued:          int(q.queued.Load()),
+		InFlightBatches: int(q.inflightBatches.Load()),
+		InFlightQueries: int(q.inflightReqs.Load()),
+		Completed:       q.completed.Load(),
+		PerQueryService: time.Duration(q.perQueryEWMA.Value() * float64(time.Second)),
+	}
+}
+
+// EstimateCost returns the estimated completion time of one more query
+// submitted now: (queued + in-flight + 1) queries ahead of it, each at
+// the replica's smoothed per-query service time. ok is false while the
+// estimate is cold (no batch has completed yet), in which case the
+// caller should fall back to round-robin to warm it.
+func (q *Queue) EstimateCost() (cost time.Duration, ok bool) {
+	per := q.perQueryEWMA.Value()
+	if per <= 0 {
+		return 0, false
+	}
+	depth := q.queued.Load() + q.inflightReqs.Load() + 1
+	return time.Duration(float64(depth) * per * float64(time.Second)), true
+}
+
+// observeService feeds one completed batch into the load telemetry: the
+// completion counter and the per-query service-time EWMA the scheduler
+// costs this replica with.
+func (q *Queue) observeService(n int, lat time.Duration) {
+	q.completed.Add(int64(n))
+	q.perQueryEWMA.Observe(lat.Seconds() / float64(n))
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clipper/internal/container"
@@ -22,6 +23,25 @@ type request struct {
 	x    []float64
 	enq  time.Time // submit time, for per-request queue-delay telemetry
 	done chan Result
+	// state is the removable-submit state machine: queued requests can be
+	// cancelled (hedged dispatch discards its loser) until the collector
+	// claims them into a batch. Exactly one of the two transitions wins,
+	// so a request is either never delivered (cancelled) or delivered
+	// exactly once (claimed) — never both.
+	state atomic.Int32
+}
+
+// request.state values.
+const (
+	reqQueued    int32 = iota // submitted, cancellable
+	reqClaimed                // collected into a batch; exactly one Result will be delivered
+	reqCancelled              // withdrawn before collection; never delivered
+)
+
+// claim moves a request from queued to claimed, reporting false when a
+// racing Cancel got there first (the collector then drops the request).
+func (r *request) claim() bool {
+	return r.state.CompareAndSwap(reqQueued, reqClaimed)
 }
 
 // reqPool recycles requests submitted through Submit, which receives the
@@ -143,6 +163,15 @@ type Queue struct {
 	submitMu sync.RWMutex
 	stopOnce sync.Once
 
+	// Load telemetry for the cross-replica scheduler (internal/core):
+	// counters updated at every queue transition, so dispatch can cost a
+	// replica from atomic loads instead of polling or locking the queue.
+	queued          atomic.Int64 // requests committed to q.in, not yet collected
+	inflightBatches atomic.Int64 // batches currently inside the container
+	inflightReqs    atomic.Int64 // queries across those batches
+	completed       atomic.Int64 // queries answered since the queue started
+	perQueryEWMA    metrics.EWMA // smoothed per-query service seconds
+
 	// Latency and batch-size telemetry for the experiments.
 	BatchLatency *metrics.Histogram
 	BatchSizes   *metrics.Histogram
@@ -209,6 +238,8 @@ func (q *Queue) Adaptive() *Adaptive { return q.adapt }
 func (q *Queue) Submit(ctx context.Context, x []float64) (container.Prediction, error) {
 	req := reqPool.Get().(*request)
 	req.x, req.enq = x, time.Now()
+	req.state.Store(reqQueued) // recycled requests come back claimed
+
 	if err := q.submit(ctx, req); err != nil {
 		req.x = nil
 		reqPool.Put(req) // never enqueued, still exclusively ours
@@ -251,6 +282,7 @@ func (q *Queue) submit(ctx context.Context, req *request) error {
 	}
 	select {
 	case q.in <- req:
+		q.queued.Add(1)
 		return nil
 	case <-q.stop:
 		return ErrQueueClosed
@@ -320,15 +352,22 @@ func (q *Queue) dispatchLoop() {
 			return
 		}
 
-		// Block for the first query of the next batch.
+		// Block for the first query of the next batch, skipping requests
+		// whose ticket was cancelled while they waited.
 		var first *request
-		select {
-		case first = <-q.in:
-		case <-q.stop:
-			q.releaseSlot()
-			q.drainClosed()
-			q.wg.Wait() // in-flight batches still deliver their results
-			return
+		for first == nil {
+			select {
+			case r := <-q.in:
+				q.queued.Add(-1)
+				if r.claim() {
+					first = r
+				}
+			case <-q.stop:
+				q.releaseSlot()
+				q.drainClosed()
+				q.wg.Wait() // in-flight batches still deliver their results
+				return
+			}
 		}
 		batch := q.collect(first)
 		serial := cap(q.inflight) == 1
@@ -361,6 +400,13 @@ func (q *Queue) dispatchLoop() {
 // container, feeds the controller, and delivers exactly one Result per
 // request.
 func (q *Queue) runBatch(batch []*request) {
+	n := int64(len(batch))
+	q.inflightBatches.Add(1)
+	q.inflightReqs.Add(n)
+	defer func() {
+		q.inflightBatches.Add(-1)
+		q.inflightReqs.Add(-n)
+	}()
 	if q.flat != nil {
 		q.runBatchFlat(batch)
 		return
@@ -377,6 +423,7 @@ func (q *Queue) runBatch(batch []*request) {
 	start := time.Now()
 	preds, err := q.predictBatch(xs)
 	lat := time.Since(start)
+	q.observeService(len(batch), lat)
 	q.ctrl.Observe(len(batch), lat)
 	if q.adapt != nil {
 		// The controller resizes the bound window semaphore itself,
@@ -424,6 +471,7 @@ func (q *Queue) runBatchFlat(batch []*request) {
 	})
 	lat := time.Since(start)
 	container.PutBatchView(v)
+	q.observeService(len(batch), lat)
 	q.ctrl.Observe(len(batch), lat)
 	if q.adapt != nil {
 		q.adapt.ObserveBatch(len(batch), lat)
@@ -475,7 +523,10 @@ func (q *Queue) collect(first *request) []*request {
 		for len(batch) < max {
 			select {
 			case r := <-q.in:
-				batch = append(batch, r)
+				q.queued.Add(-1)
+				if r.claim() {
+					batch = append(batch, r)
+				}
 			case <-timer.C:
 				return batch
 			case <-q.stop:
@@ -487,7 +538,10 @@ func (q *Queue) collect(first *request) []*request {
 	for len(batch) < max {
 		select {
 		case r := <-q.in:
-			batch = append(batch, r)
+			q.queued.Add(-1)
+			if r.claim() {
+				batch = append(batch, r)
+			}
 		default:
 			return batch
 		}
@@ -495,12 +549,17 @@ func (q *Queue) collect(first *request) []*request {
 	return batch
 }
 
-// drainClosed fails any requests still queued at shutdown.
+// drainClosed fails any requests still queued at shutdown. Cancelled
+// ticket requests are dropped silently — their callers were already told
+// the request would never be delivered.
 func (q *Queue) drainClosed() {
 	for {
 		select {
 		case r := <-q.in:
-			r.done <- Result{Err: ErrQueueClosed}
+			q.queued.Add(-1)
+			if r.claim() {
+				r.done <- Result{Err: ErrQueueClosed}
+			}
 		default:
 			return
 		}

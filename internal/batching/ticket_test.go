@@ -1,0 +1,279 @@
+package batching
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clipper/internal/container"
+)
+
+// gateModel blocks PredictBatch until released, so tests can pin requests
+// in the queue (behind an in-flight batch) or in the container at will.
+type gateModel struct {
+	release chan struct{} // each receive releases one batch
+	calls   atomic.Int64
+	queries atomic.Int64
+}
+
+func newGateModel() *gateModel {
+	return &gateModel{release: make(chan struct{}, 1024)}
+}
+
+func (m *gateModel) Info() container.Info {
+	return container.Info{Name: "gate", Version: 1}
+}
+
+func (m *gateModel) PredictBatch(xs [][]float64) ([]container.Prediction, error) {
+	m.calls.Add(1)
+	m.queries.Add(int64(len(xs)))
+	<-m.release
+	out := make([]container.Prediction, len(xs))
+	for i, x := range xs {
+		out[i] = container.Prediction{Label: int(x[0])}
+	}
+	return out, nil
+}
+
+func TestSubmitTicketDelivers(t *testing.T) {
+	m := newGateModel()
+	q := NewQueue(m, QueueConfig{Controller: NewFixed(4), InFlight: 1})
+	defer q.Close()
+
+	tk, err := q.SubmitTicket(context.Background(), []float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.release <- struct{}{}
+	select {
+	case res := <-tk.Done():
+		if res.Err != nil || res.Pred.Label != 7 {
+			t.Fatalf("result = %+v", res)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("ticket never delivered")
+	}
+	// The batch collected it first: Cancel must report that.
+	if tk.Cancel() {
+		t.Fatal("Cancel after delivery returned true")
+	}
+}
+
+func TestTicketCancelBeforeDispatch(t *testing.T) {
+	m := newGateModel()
+	q := NewQueue(m, QueueConfig{Controller: NewFixed(1), InFlight: 1})
+	defer q.Close()
+
+	// Occupy the single pipeline slot so further submissions stay queued.
+	blocker, err := q.SubmitTicket(context.Background(), []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m.calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	tk, err := q.SubmitTicket(context.Background(), []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.LoadStats().Queued; got != 1 {
+		t.Fatalf("Queued = %d, want 1", got)
+	}
+	if !tk.Cancel() {
+		t.Fatal("Cancel of a queued request returned false")
+	}
+	// Double cancel is idempotent-false.
+	if tk.Cancel() {
+		t.Fatal("second Cancel returned true")
+	}
+
+	// Release everything; the cancelled request must never reach the model.
+	m.release <- struct{}{}
+	m.release <- struct{}{}
+	<-blocker.Done()
+	deadline := time.Now().Add(2 * time.Second)
+	for q.LoadStats().Queued != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case res := <-tk.Done():
+		t.Fatalf("cancelled ticket delivered %+v", res)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if got := m.queries.Load(); got != 1 {
+		t.Fatalf("model saw %d queries, want 1 (cancelled request dispatched)", got)
+	}
+}
+
+// TestTicketCancelRace hammers the claim/cancel CAS from both sides: for
+// every ticket exactly one of {successful Cancel, delivered Result} must
+// happen — never both, never neither. Run with -race.
+func TestTicketCancelRace(t *testing.T) {
+	m := newGateModel()
+	close(m.release) // free-running model
+	q := NewQueue(m, QueueConfig{Controller: NewFixed(8), InFlight: 2})
+	defer q.Close()
+
+	const n = 400
+	var wg sync.WaitGroup
+	var delivered, cancelled atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tk, err := q.SubmitTicket(context.Background(), []float64{float64(i)})
+			if err != nil {
+				t.Errorf("SubmitTicket: %v", err)
+				return
+			}
+			if i%2 == 0 {
+				// Race a cancel against collection.
+				if tk.Cancel() {
+					cancelled.Add(1)
+					// Must never deliver now.
+					select {
+					case res := <-tk.Done():
+						t.Errorf("cancelled ticket %d delivered %+v", i, res)
+					case <-time.After(10 * time.Millisecond):
+					}
+					return
+				}
+			}
+			// Not cancelled (or cancel lost the race): exactly one Result.
+			select {
+			case res := <-tk.Done():
+				if res.Err != nil {
+					t.Errorf("ticket %d error: %v", i, res.Err)
+				}
+				delivered.Add(1)
+			case <-time.After(5 * time.Second):
+				t.Errorf("ticket %d never delivered", i)
+			}
+			select {
+			case res := <-tk.Done():
+				t.Errorf("ticket %d delivered twice: %+v", i, res)
+			default:
+			}
+		}(i)
+	}
+	wg.Wait()
+	if delivered.Load()+cancelled.Load() != n {
+		t.Fatalf("delivered %d + cancelled %d != %d", delivered.Load(), cancelled.Load(), n)
+	}
+	if int(m.queries.Load()) != int(delivered.Load()) {
+		t.Fatalf("model saw %d queries, delivered %d", m.queries.Load(), delivered.Load())
+	}
+}
+
+func TestTicketQueueCloseFailsPending(t *testing.T) {
+	m := newGateModel()
+	q := NewQueue(m, QueueConfig{Controller: NewFixed(1), InFlight: 1})
+
+	blocker, err := q.SubmitTicket(context.Background(), []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m.calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	pending, err := q.SubmitTicket(context.Background(), []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gone, err := q.SubmitTicket(context.Background(), []float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gone.Cancel() {
+		t.Fatal("cancel failed")
+	}
+
+	go q.Close()
+	close(m.release) // free-run the model so Close can drain in-flight work
+	if res := <-blocker.Done(); res.Err != nil {
+		t.Fatalf("in-flight ticket failed: %v", res.Err)
+	}
+	// The pending ticket races Close's drain against the dispatcher's last
+	// collect: it must get exactly one Result either way — a prediction if
+	// the dispatcher won, ErrQueueClosed if the drain did.
+	select {
+	case res := <-pending.Done():
+		if res.Err != nil && res.Err != ErrQueueClosed {
+			t.Fatalf("pending ticket err = %v, want nil or ErrQueueClosed", res.Err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pending ticket never resolved on close")
+	}
+	select {
+	case res := <-pending.Done():
+		t.Fatalf("pending ticket delivered twice: %+v", res)
+	default:
+	}
+	select {
+	case res := <-gone.Done():
+		t.Fatalf("cancelled ticket delivered %+v at close", res)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestLoadStatsLifecycle(t *testing.T) {
+	m := newGateModel()
+	q := NewQueue(m, QueueConfig{Controller: NewFixed(2), InFlight: 1})
+	defer q.Close()
+
+	if ls := q.LoadStats(); ls != (LoadStats{}) {
+		t.Fatalf("fresh queue load = %+v, want zero", ls)
+	}
+	if _, ok := q.EstimateCost(); ok {
+		t.Fatal("cold queue reported a warm cost estimate")
+	}
+
+	// One batch in flight, one request queued behind it.
+	first, err := q.SubmitTicket(context.Background(), []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m.calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	second, err := q.SubmitTicket(context.Background(), []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := q.LoadStats()
+	if ls.InFlightBatches != 1 || ls.InFlightQueries != 1 || ls.Queued != 1 {
+		t.Fatalf("mid-flight load = %+v", ls)
+	}
+
+	m.release <- struct{}{}
+	m.release <- struct{}{}
+	<-first.Done()
+	<-second.Done()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ls = q.LoadStats()
+		if ls.Queued == 0 && ls.InFlightBatches == 0 && ls.InFlightQueries == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("load never drained: %+v", ls)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if ls.Completed != 2 {
+		t.Fatalf("Completed = %d, want 2", ls.Completed)
+	}
+	if ls.PerQueryService <= 0 {
+		t.Fatalf("PerQueryService = %v, want > 0", ls.PerQueryService)
+	}
+	cost, ok := q.EstimateCost()
+	if !ok || cost <= 0 {
+		t.Fatalf("EstimateCost = %v, %v; want warm positive", cost, ok)
+	}
+}

@@ -256,6 +256,25 @@ func (r *Remote) PoolStats() rpc.PoolStats {
 	}
 }
 
+// ConnHealth reports the replica's live vs total RPC connections from
+// atomic loads and channel polls only — the cross-replica scheduler
+// reads it on every dispatch to weight a degraded pool's cost estimate.
+// (PoolStats reports the same numbers plus write telemetry, at the price
+// of walking every slot's counters.)
+func (r *Remote) ConnHealth() (live, total int) {
+	switch c := r.client.(type) {
+	case *rpc.Pool:
+		return c.LiveConns()
+	case *rpc.Client:
+		if c.Alive() {
+			return 1, 1
+		}
+		return 0, 1
+	default:
+		return 0, 0
+	}
+}
+
 // SetPoolTarget sets the connection pool's routing target, clamped to
 // [1, Conns], and returns the applied value. On a single-connection
 // Remote it is a no-op returning 1. This is the adaptive controller's

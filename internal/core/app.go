@@ -110,7 +110,7 @@ func (cl *Clipper) RegisterApp(cfg AppConfig) (*Application, error) {
 		return nil, fmt.Errorf("core: application %q already registered", cfg.Name)
 	}
 	for _, m := range cfg.Models {
-		if _, ok := cl.queues[m]; !ok {
+		if _, ok := cl.scheds[m]; !ok {
 			return nil, fmt.Errorf("%w: %q", ErrUnknownModel, m)
 		}
 	}
@@ -352,20 +352,11 @@ func (a *Application) gather(ctx context.Context, indices []int, x []float64, de
 func (a *Application) completeFetch(ctx context.Context, x []float64, f pendingFetch) (container.Prediction, bool) {
 	cl := a.cl
 	if !f.cached {
-		q, err := cl.nextQueue(f.model)
-		if err != nil {
-			return container.Prediction{}, false
-		}
-		p, err := q.Submit(ctx, x)
+		p, err := cl.SubmitModel(ctx, f.model, x)
 		return p, err == nil
 	}
 	if f.leader {
-		q, err := cl.nextQueue(f.model)
-		if err != nil {
-			cl.cache.Abort(f.key)
-			return container.Prediction{}, false
-		}
-		p, err := q.Submit(ctx, x)
+		p, err := cl.SubmitModel(ctx, f.model, x)
 		if err != nil {
 			cl.cache.Abort(f.key)
 			return container.Prediction{}, false

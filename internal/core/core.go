@@ -24,7 +24,6 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"clipper/internal/batching"
@@ -42,29 +41,27 @@ type Config struct {
 	// Store holds per-context selection state; nil selects an in-memory
 	// store.
 	Store statestore.Store
+	// Scheduler configures cross-replica dispatch: join-shortest-queue
+	// cost routing and straggler hedging (see scheduler.go / hedge.go).
+	// The zero value selects JSQ with hedging off — identical to the old
+	// round-robin for single-replica models and for replicas that have
+	// not priced themselves yet.
+	Scheduler SchedulerConfig
 }
 
 // Clipper is one serving node: a registry of model replicas with their
 // batching queues, a shared prediction cache, and the applications that
 // query them.
 type Clipper struct {
-	cache *cache.Cache // nil when caching disabled
-	store statestore.Store
+	cache    *cache.Cache // nil when caching disabled
+	store    statestore.Store
+	schedCfg SchedulerConfig
 
 	mu     sync.Mutex
-	queues map[string][]*replicaQueue // model name -> replica queues
-	infos  map[string]container.Info  // model name -> info
-	rr     map[string]*atomic.Uint64  // model name -> round-robin cursor
+	scheds map[string]*scheduler     // model name -> replica scheduler
+	infos  map[string]container.Info // model name -> info
 	apps   map[string]*Application
 	closed bool
-}
-
-// replicaQueue pairs a replica with its adaptive batching queue and
-// availability state.
-type replicaQueue struct {
-	replica *container.Replica
-	queue   *batching.Queue
-	health  replicaHealth
 }
 
 // New returns a Clipper with the given configuration.
@@ -82,12 +79,12 @@ func New(cfg Config) *Clipper {
 		store = statestore.NewMemStore()
 	}
 	return &Clipper{
-		cache:  c,
-		store:  store,
-		queues: make(map[string][]*replicaQueue),
-		infos:  make(map[string]container.Info),
-		rr:     make(map[string]*atomic.Uint64),
-		apps:   make(map[string]*Application),
+		cache:    c,
+		store:    store,
+		schedCfg: cfg.Scheduler,
+		scheds:   make(map[string]*scheduler),
+		infos:    make(map[string]container.Info),
+		apps:     make(map[string]*Application),
 	}
 }
 
@@ -121,19 +118,18 @@ func (cl *Clipper) Deploy(pred container.Predictor, stop func(), qcfg batching.Q
 			qcfg.Adaptive.AttachPool(pt)
 		}
 	}
+	s := cl.scheds[info.Name]
+	if s == nil {
+		s = newScheduler(info.Name, cl.schedCfg)
+		cl.scheds[info.Name] = s
+	}
 	rep := &container.Replica{
-		ID:   fmt.Sprintf("%s/%d", info.String(), len(cl.queues[info.Name])),
+		ID:   fmt.Sprintf("%s/%d", info.String(), s.size()),
 		Pred: pred,
 		Stop: stop,
 	}
-	q := batching.NewQueue(pred, qcfg)
-	rq := &replicaQueue{replica: rep, queue: q}
-	rq.health.healthy.Store(true)
-	cl.queues[info.Name] = append(cl.queues[info.Name], rq)
+	s.add(newReplicaQueue(rep, batching.NewQueue(pred, qcfg), cl.schedCfg))
 	cl.infos[info.Name] = info
-	if _, ok := cl.rr[info.Name]; !ok {
-		cl.rr[info.Name] = &atomic.Uint64{}
-	}
 	return rep, nil
 }
 
@@ -166,8 +162,8 @@ func (cl *Clipper) DeployRemote(addr string, timeout time.Duration, conns int, q
 func (cl *Clipper) Models() []string {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
-	names := make([]string, 0, len(cl.queues))
-	for name := range cl.queues {
+	names := make([]string, 0, len(cl.scheds))
+	for name := range cl.scheds {
 		names = append(names, name)
 	}
 	return names
@@ -184,13 +180,25 @@ func (cl *Clipper) ModelInfo(name string) (container.Info, bool) {
 // ReplicaQueues returns the batching queues of a model's replicas, for
 // telemetry inspection by benchmarks.
 func (cl *Clipper) ReplicaQueues(model string) []*batching.Queue {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
-	qs := make([]*batching.Queue, 0, len(cl.queues[model]))
-	for _, rq := range cl.queues[model] {
+	rqs := cl.modelReplicas(model)
+	qs := make([]*batching.Queue, 0, len(rqs))
+	for _, rq := range rqs {
 		qs = append(qs, rq.queue)
 	}
 	return qs
+}
+
+// modelReplicas snapshots a model's replica set (empty for unknown
+// models). The returned slice is copy-on-write — safe to iterate, never
+// mutate.
+func (cl *Clipper) modelReplicas(model string) []*replicaQueue {
+	cl.mu.Lock()
+	s := cl.scheds[model]
+	cl.mu.Unlock()
+	if s == nil {
+		return nil
+	}
+	return s.snapshot()
 }
 
 // AppNames returns the sorted names of registered applications.
@@ -211,31 +219,6 @@ func (cl *Clipper) Cache() *cache.Cache { return cl.cache }
 // Store returns the selection-state store.
 func (cl *Clipper) Store() statestore.Store { return cl.store }
 
-// nextQueue picks the next healthy replica queue for a model, round-robin.
-// If every replica is marked unhealthy it falls back to plain round-robin
-// (serving degraded beats serving nothing — and gives a recovering replica
-// traffic to prove itself).
-func (cl *Clipper) nextQueue(model string) (*batching.Queue, error) {
-	cl.mu.Lock()
-	rqs := cl.queues[model]
-	cursor := cl.rr[model]
-	cl.mu.Unlock()
-	if len(rqs) == 0 {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, model)
-	}
-	// Reduce the free-running cursor modulo the replica count before
-	// converting to int: a plain int(cursor.Add(1)) goes negative once the
-	// counter passes MaxInt64 and would index out of range.
-	i := int(cursor.Add(1) % uint64(len(rqs)))
-	for probe := 0; probe < len(rqs); probe++ {
-		rq := rqs[(i+probe)%len(rqs)]
-		if rq.health.healthy.Load() {
-			return rq.queue, nil
-		}
-	}
-	return rqs[i%len(rqs)].queue, nil
-}
-
 // modelVersion returns the deployed version of a model (for cache keys).
 func (cl *Clipper) modelVersion(model string) int {
 	cl.mu.Lock()
@@ -251,11 +234,11 @@ func (cl *Clipper) Close() {
 		return
 	}
 	cl.closed = true
-	queues := cl.queues
-	cl.queues = make(map[string][]*replicaQueue)
+	scheds := cl.scheds
+	cl.scheds = make(map[string]*scheduler)
 	cl.mu.Unlock()
-	for _, rqs := range queues {
-		for _, rq := range rqs {
+	for _, s := range scheds {
+		for _, rq := range s.snapshot() {
 			rq.queue.Close()
 			if rq.replica.Stop != nil {
 				rq.replica.Stop()

@@ -385,28 +385,30 @@ func TestReplicaRoundRobin(t *testing.T) {
 	}
 }
 
-func TestNextQueueCursorOverflow(t *testing.T) {
-	// Regression: the round-robin cursor is a free-running atomic.Uint64;
+func TestSchedulerCursorOverflow(t *testing.T) {
+	// Regression: the rotation cursor is a free-running atomic.Uint64;
 	// int(cursor.Add(1)) turns negative once the counter passes MaxInt64,
 	// which used to index rqs out of range. Seed the cursor just below the
-	// overflow boundaries and drive it across.
-	cl := New(Config{CacheSize: -1})
-	defer cl.Close()
-	for i := 0; i < 3; i++ {
-		if _, err := cl.Deploy(&stubModel{name: "m", label: 1}, nil, qcfg()); err != nil {
-			t.Fatal(err)
-		}
-	}
-	for _, seed := range []uint64{math.MaxInt64 - 2, math.MaxUint64 - 2} {
-		cl.mu.Lock()
-		cl.rr["m"].Store(seed)
-		cl.mu.Unlock()
-		for i := 0; i < 8; i++ {
-			q, err := cl.nextQueue("m")
-			if err != nil || q == nil {
-				t.Fatalf("nextQueue after cursor=%d+%d: queue=%v err=%v", seed, i, q, err)
+	// overflow boundaries and drive it across, under both policies.
+	for _, policy := range []SchedPolicy{SchedRoundRobin, SchedJSQ} {
+		cl := New(Config{CacheSize: -1, Scheduler: SchedulerConfig{Policy: policy}})
+		for i := 0; i < 3; i++ {
+			if _, err := cl.Deploy(&stubModel{name: "m", label: 1}, nil, qcfg()); err != nil {
+				t.Fatal(err)
 			}
 		}
+		cl.mu.Lock()
+		s := cl.scheds["m"]
+		cl.mu.Unlock()
+		for _, seed := range []uint64{math.MaxInt64 - 2, math.MaxUint64 - 2} {
+			s.cursor.Store(seed)
+			for i := 0; i < 8; i++ {
+				if rq := s.pick(); rq == nil {
+					t.Fatalf("policy %v: pick after cursor=%d+%d returned nil", policy, seed, i)
+				}
+			}
+		}
+		cl.Close()
 	}
 }
 

@@ -89,8 +89,8 @@ func (m *HealthMonitor) run() {
 func (m *HealthMonitor) ProbeOnce() {
 	m.cl.mu.Lock()
 	var targets []*replicaQueue
-	for _, rqs := range m.cl.queues {
-		targets = append(targets, rqs...)
+	for _, s := range m.cl.scheds {
+		targets = append(targets, s.snapshot()...)
 	}
 	m.cl.mu.Unlock()
 
@@ -127,10 +127,8 @@ func (m *HealthMonitor) Stop() {
 // ReplicaHealth reports each replica's health for a model, keyed by
 // replica ID.
 func (cl *Clipper) ReplicaHealth(model string) map[string]bool {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
 	out := make(map[string]bool)
-	for _, rq := range cl.queues[model] {
+	for _, rq := range cl.modelReplicas(model) {
 		out[rq.replica.ID] = rq.health.healthy.Load()
 	}
 	return out
@@ -150,8 +148,8 @@ func (cl *Clipper) MarkHealthy(replicaID string) bool {
 func (cl *Clipper) setHealth(replicaID string, healthy bool) bool {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
-	for _, rqs := range cl.queues {
-		for _, rq := range rqs {
+	for _, s := range cl.scheds {
+		for _, rq := range s.snapshot() {
 			if rq.replica.ID == replicaID {
 				rq.health.healthy.Store(healthy)
 				if healthy {

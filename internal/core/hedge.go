@@ -1,0 +1,361 @@
+package core
+
+import (
+	"context"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clipper/internal/batching"
+	"clipper/internal/container"
+	"clipper/internal/quantile"
+)
+
+// Hedged dispatch (the tail-at-scale treatment of the paper's §4.3
+// straggler mitigation): a request that has waited past a latency-
+// percentile-derived threshold in a queue whose replica has stopped
+// draining — or whose replica now costs several times its best sibling —
+// is re-enqueued on the current fastest replica. First successful result
+// wins; the loser is withdrawn via batching.Ticket.Cancel (or its Result
+// discarded if a batch already collected it), so the caller still sees
+// exactly one outcome. A hedge budget bounds duplicates to a fraction of
+// offered load.
+
+// HedgeConfig parameterizes straggler hedging. Zero values select
+// defaults; hedging is off unless Enabled.
+type HedgeConfig struct {
+	// Enabled turns hedged dispatch on.
+	Enabled bool
+	// Quantile is the per-replica latency percentile the hedge threshold
+	// derives from; 0 selects 0.9.
+	Quantile float64
+	// Multiplier scales the fastest replica's Quantile latency into the
+	// hedge delay; 0 selects 1.0.
+	Multiplier float64
+	// MinDelay floors the hedge delay (and is the delay while latency
+	// trackers are cold); 0 selects 500µs.
+	MinDelay time.Duration
+	// SlowFactor gates hedges on cost: a request whose primary still
+	// drains only hedges when the primary's estimated completion time
+	// exceeds SlowFactor × its best sibling's; 0 selects 2.0.
+	SlowFactor float64
+	// BudgetFrac bounds hedges issued to this fraction of submitted
+	// queries; 0 selects 0.1 (10% of offered load).
+	BudgetFrac float64
+}
+
+func (h HedgeConfig) quantile() float64 {
+	if h.Quantile <= 0 || h.Quantile >= 1 {
+		return 0.9
+	}
+	return h.Quantile
+}
+
+func (h HedgeConfig) multiplier() float64 {
+	if h.Multiplier <= 0 {
+		return 1.0
+	}
+	return h.Multiplier
+}
+
+func (h HedgeConfig) minDelay() time.Duration {
+	if h.MinDelay <= 0 {
+		return 500 * time.Microsecond
+	}
+	return h.MinDelay
+}
+
+func (h HedgeConfig) slowFactor() float64 {
+	if h.SlowFactor <= 0 {
+		return 2.0
+	}
+	return h.SlowFactor
+}
+
+func (h HedgeConfig) budgetFrac() float64 {
+	if h.BudgetFrac <= 0 {
+		return 0.1
+	}
+	if h.BudgetFrac > 1 {
+		return 1
+	}
+	return h.BudgetFrac
+}
+
+const (
+	latRingSize   = 256 // samples per replica
+	latRefitEvery = 32  // observations between quantile refits
+)
+
+// latTracker keeps a ring of one replica's recent end-to-end request
+// latencies and a cached empirical quantile over them. Observers take a
+// short mutex for the ring write; the dispatch path reads the cached
+// quantile with one atomic load. The quantile refits every
+// latRefitEvery observations (quantile.Empirical sorts a copy — too
+// expensive per observation, cheap per 32).
+type latTracker struct {
+	q float64 // which quantile to cache
+
+	mu    sync.Mutex
+	ring  [latRingSize]float64 // seconds
+	n     int                  // filled entries
+	next  int                  // write position
+	since int                  // observations since last refit
+
+	cached atomic.Uint64 // Float64bits of the quantile, seconds; 0 = no data
+}
+
+func newLatTracker(q float64) *latTracker {
+	return &latTracker{q: q}
+}
+
+// observe records one request's end-to-end latency.
+func (lt *latTracker) observe(d time.Duration) {
+	sec := d.Seconds()
+	lt.mu.Lock()
+	lt.ring[lt.next] = sec
+	lt.next = (lt.next + 1) % latRingSize
+	if lt.n < latRingSize {
+		lt.n++
+	}
+	lt.since++
+	var sample []float64
+	if lt.since >= latRefitEvery || lt.cached.Load() == 0 {
+		lt.since = 0
+		sample = append(make([]float64, 0, lt.n), lt.ring[:lt.n]...)
+	}
+	lt.mu.Unlock()
+	if sample != nil {
+		if v := quantile.Empirical(sample, lt.q); v > 0 {
+			lt.cached.Store(math.Float64bits(v))
+		}
+	}
+}
+
+// threshold returns the cached quantile latency; ok is false before any
+// data.
+func (lt *latTracker) threshold() (time.Duration, bool) {
+	b := lt.cached.Load()
+	if b == 0 {
+		return 0, false
+	}
+	return time.Duration(math.Float64frombits(b) * float64(time.Second)), true
+}
+
+// hedgeDelay is the wait before a request is considered straggling:
+// Multiplier × the Quantile latency of the *fastest* replica (minimum
+// across replicas with data), floored at MinDelay. Judging against the
+// fastest replica matters: a request stuck on a slow replica must be
+// measured against the service level its healthy siblings deliver, not
+// against the slow replica's own (already inflated) history.
+func (s *scheduler) hedgeDelay() time.Duration {
+	var best time.Duration
+	for _, rq := range s.snapshot() {
+		if th, ok := rq.lats.threshold(); ok && (best == 0 || th < best) {
+			best = th
+		}
+	}
+	d := time.Duration(float64(best) * s.cfg.Hedge.multiplier())
+	if min := s.cfg.Hedge.minDelay(); d < min {
+		d = min
+	}
+	return d
+}
+
+// bestAlternative returns the healthy replica (excluding skip) with the
+// lowest estimated completion time — the "current fastest replica" a
+// hedge or failover re-enqueues on. Warm replicas are preferred; a cold
+// one is returned only when no sibling has priced itself yet. Nil when
+// the model has no healthy sibling.
+func (s *scheduler) bestAlternative(skip *replicaQueue) *replicaQueue {
+	var best, cold *replicaQueue
+	var bestCost time.Duration
+	for _, rq := range s.snapshot() {
+		if rq == skip || !rq.health.healthy.Load() {
+			continue
+		}
+		cost, warm := rq.estCost()
+		if !warm {
+			if cold == nil {
+				cold = rq
+			}
+			continue
+		}
+		if best == nil || cost < bestCost {
+			best, bestCost = rq, cost
+		}
+	}
+	if best != nil {
+		return best
+	}
+	return cold
+}
+
+// hedgeBudgetOK admits one more hedge iff issued hedges stay within
+// BudgetFrac of offered load.
+func (s *scheduler) hedgeBudgetOK() bool {
+	return float64(s.hedgesIssued.Load()+1) <= s.cfg.Hedge.budgetFrac()*float64(s.submitted.Load())
+}
+
+// hedgeTarget decides whether a timed-out request should hedge, and where
+// to. Firing requires all of: budget headroom, a healthy sibling, and a
+// primary that either stopped draining since the request was submitted
+// (the stuck-replica signal) or costs SlowFactor× its best sibling (the
+// merely-slow signal). A primary that is draining normally and fairly
+// priced just had an unlucky timer — no hedge.
+func (s *scheduler) hedgeTarget(primary *replicaQueue, drainedAtSubmit int64) *replicaQueue {
+	if !s.hedgeBudgetOK() {
+		return nil
+	}
+	alt := s.bestAlternative(primary)
+	if alt == nil {
+		return nil
+	}
+	if primary.queue.LoadStats().Completed == drainedAtSubmit {
+		return alt // replica has not drained a single query since submit
+	}
+	pCost, pWarm := primary.estCost()
+	aCost, aWarm := alt.estCost()
+	if pWarm && aWarm && float64(pCost) > s.cfg.Hedge.slowFactor()*float64(aCost) {
+		return alt
+	}
+	return nil
+}
+
+// submitHedged dispatches x on primary with straggler hedging. The
+// caller sees exactly one outcome: the first successful Result wins and
+// the loser is cancelled (or its Result silently discarded if already in
+// a batch — ticket channels are buffered, so the queue never blocks on
+// an abandoned loser). An error from one side falls back to the other,
+// which is what carries a request across a replica that dies mid-flight.
+func (s *scheduler) submitHedged(ctx context.Context, primary *replicaQueue, x []float64) (container.Prediction, error) {
+	start := time.Now()
+	tk, err := primary.queue.SubmitTicket(ctx, x)
+	if err != nil {
+		// The primary refused outright (queue closed under a swap/stop
+		// race): fail over once instead of surfacing a transient.
+		if alt := s.bestAlternative(primary); alt != nil {
+			s.failovers.Add(1)
+			return s.submitOn(ctx, alt, x)
+		}
+		return container.Prediction{}, err
+	}
+	drainedAtSubmit := primary.queue.LoadStats().Completed
+
+	timer := time.NewTimer(s.hedgeDelay())
+	defer timer.Stop()
+	select {
+	case res := <-tk.Done():
+		return s.finishPrimary(ctx, primary, res, start, x)
+	case <-ctx.Done():
+		tk.Cancel()
+		return container.Prediction{}, ctx.Err()
+	case <-timer.C:
+	}
+
+	alt := s.hedgeTarget(primary, drainedAtSubmit)
+	if alt == nil {
+		// Gates said no (budget spent, no sibling, or the primary is
+		// draining fine): wait out the primary.
+		select {
+		case res := <-tk.Done():
+			return s.finishPrimary(ctx, primary, res, start, x)
+		case <-ctx.Done():
+			tk.Cancel()
+			return container.Prediction{}, ctx.Err()
+		}
+	}
+
+	s.hedgesIssued.Add(1)
+	primary.hedgesFrom.Add(1)
+	hstart := time.Now()
+	ht, herr := alt.queue.SubmitTicket(ctx, x)
+	if herr != nil {
+		// Hedge could not even enqueue; the primary is all we have.
+		select {
+		case res := <-tk.Done():
+			return s.finishPrimary(ctx, primary, res, start, x)
+		case <-ctx.Done():
+			tk.Cancel()
+			return container.Prediction{}, ctx.Err()
+		}
+	}
+
+	// Race the two tickets: first success wins, an error arm drops out
+	// and leaves the other as sole hope, both-error surfaces the first
+	// error.
+	pDone, hDone := tk.Done(), ht.Done()
+	var firstErr error
+	for {
+		select {
+		case res := <-pDone:
+			if res.Err == nil {
+				ht.Cancel()
+				s.hedgesWasted.Add(1)
+				primary.lats.observe(time.Since(start))
+				return res.Pred, nil
+			}
+			pDone = nil
+			if firstErr == nil {
+				firstErr = res.Err
+			}
+			if hDone == nil {
+				return container.Prediction{}, firstErr
+			}
+		case res := <-hDone:
+			if res.Err == nil {
+				tk.Cancel()
+				s.hedgesWon.Add(1)
+				alt.hedgesWon.Add(1)
+				// Observe from hedge issue, not original submit: the
+				// hedge replica answered this fast, and charging it the
+				// primary's stall would poison its threshold.
+				alt.lats.observe(time.Since(hstart))
+				return res.Pred, nil
+			}
+			hDone = nil
+			if firstErr == nil {
+				firstErr = res.Err
+			}
+			if pDone == nil {
+				return container.Prediction{}, firstErr
+			}
+		case <-ctx.Done():
+			tk.Cancel()
+			ht.Cancel()
+			return container.Prediction{}, ctx.Err()
+		}
+	}
+}
+
+// finishPrimary handles the primary's Result when no hedge is in flight:
+// success feeds the latency tracker; an error fails over once to the
+// best healthy sibling (a replica that died with requests queued fails
+// them all at once — its survivors can still answer).
+func (s *scheduler) finishPrimary(ctx context.Context, primary *replicaQueue, res batching.Result, start time.Time, x []float64) (container.Prediction, error) {
+	if res.Err == nil {
+		primary.lats.observe(time.Since(start))
+		return res.Pred, nil
+	}
+	alt := s.bestAlternative(primary)
+	if alt == nil {
+		return container.Prediction{}, res.Err
+	}
+	s.failovers.Add(1)
+	p, err := s.submitOn(ctx, alt, x)
+	if err != nil {
+		return container.Prediction{}, res.Err // surface the original failure
+	}
+	return p, nil
+}
+
+// submitOn is a plain latency-observed submit on one replica.
+func (s *scheduler) submitOn(ctx context.Context, rq *replicaQueue, x []float64) (container.Prediction, error) {
+	start := time.Now()
+	p, err := rq.queue.Submit(ctx, x)
+	if err == nil {
+		rq.lats.observe(time.Since(start))
+	}
+	return p, err
+}

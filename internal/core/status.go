@@ -11,10 +11,10 @@ type PoolStatser interface {
 }
 
 // ReplicaStatus is one replica's operational snapshot: health, pipeline
-// window, and connection-pool state. A replica with LiveConns <
-// TotalConns is degraded — still serving on the surviving connections,
-// but with less wire parallelism and one failure closer to outage — which
-// the plain healthy bit cannot express.
+// window, connection-pool state, and the scheduler's live load estimate.
+// A replica with LiveConns < TotalConns is degraded — still serving on
+// the surviving connections, but with less wire parallelism and one
+// failure closer to outage — which the plain healthy bit cannot express.
 type ReplicaStatus struct {
 	ID      string `json:"id"`
 	Healthy bool   `json:"healthy"`
@@ -30,20 +30,52 @@ type ReplicaStatus struct {
 	// TargetConns is the pool's routing target (the adaptive controller's
 	// live Conns choice; equals TotalConns for static pools).
 	TargetConns int `json:"target_conns"`
+
+	// Scheduler load estimate: the numbers JSQ dispatch routes by.
+	// Queued is requests buffered in the batching queue; InFlightBatches
+	// and InFlightQueries are what is currently inside the container.
+	Queued          int `json:"queued"`
+	InFlightBatches int `json:"in_flight_batches"`
+	InFlightQueries int `json:"in_flight_queries"`
+	// CompletedQueries is the total queries this replica has answered.
+	CompletedQueries int64 `json:"completed_queries"`
+	// ServiceEWMAMillis is the smoothed per-query service time; 0 while
+	// the estimate is cold.
+	ServiceEWMAMillis float64 `json:"service_ewma_ms"`
+	// EstCostMillis is the scheduler's current estimated completion time
+	// for one more query on this replica (0 while cold) — depth × speed,
+	// scaled for pool degradation.
+	EstCostMillis float64 `json:"est_cost_ms"`
+	// HedgesFrom counts hedges fired while this replica held the primary
+	// request (it was the straggler); HedgesWon counts hedge races this
+	// replica answered first (it was the rescuer).
+	HedgesFrom int64 `json:"hedges_from"`
+	HedgesWon  int64 `json:"hedges_won"`
 }
 
 // ReplicaStatuses reports each replica's status for a model, keyed by
 // replica ID. Unknown models yield an empty map.
 func (cl *Clipper) ReplicaStatuses(model string) map[string]ReplicaStatus {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
-	out := make(map[string]ReplicaStatus, len(cl.queues[model]))
-	for _, rq := range cl.queues[model] {
+	rqs := cl.modelReplicas(model)
+	out := make(map[string]ReplicaStatus, len(rqs))
+	for _, rq := range rqs {
+		ls := rq.queue.LoadStats()
 		st := ReplicaStatus{
-			ID:       rq.replica.ID,
-			Healthy:  rq.health.healthy.Load(),
-			InFlight: rq.queue.InFlight(),
-			Adaptive: rq.queue.Adaptive() != nil,
+			ID:               rq.replica.ID,
+			Healthy:          rq.health.healthy.Load(),
+			InFlight:         rq.queue.InFlight(),
+			Adaptive:         rq.queue.Adaptive() != nil,
+			Queued:           ls.Queued,
+			InFlightBatches:  ls.InFlightBatches,
+			InFlightQueries:  ls.InFlightQueries,
+			CompletedQueries: ls.Completed,
+			ServiceEWMAMillis: float64(ls.PerQueryService) /
+				float64(1e6),
+			HedgesFrom: rq.hedgesFrom.Load(),
+			HedgesWon:  rq.hedgesWon.Load(),
+		}
+		if cost, ok := rq.estCost(); ok {
+			st.EstCostMillis = float64(cost) / float64(1e6)
 		}
 		if ps, ok := rq.replica.Pred.(PoolStatser); ok {
 			s := ps.PoolStats()

@@ -31,16 +31,14 @@ func (cl *Clipper) SwapModel(pred container.Predictor, stop func(), qcfg batchin
 			info.Name, old.Version, info.Version)
 	}
 	// Stage the new replica first so the model never has zero replicas.
+	s := cl.scheds[info.Name]
 	rep := &container.Replica{
-		ID:   fmt.Sprintf("%s/%d", info.String(), len(cl.queues[info.Name])),
+		ID:   fmt.Sprintf("%s/%d", info.String(), s.size()),
 		Pred: pred,
 		Stop: stop,
 	}
-	q := batching.NewQueue(pred, qcfg)
-	rq := &replicaQueue{replica: rep, queue: q}
-	rq.health.healthy.Store(true)
-	retired := cl.queues[info.Name]
-	cl.queues[info.Name] = []*replicaQueue{rq}
+	rq := newReplicaQueue(rep, batching.NewQueue(pred, qcfg), cl.schedCfg)
+	retired := s.replaceAll(rq)
 	cl.infos[info.Name] = info
 	cl.mu.Unlock()
 

@@ -33,7 +33,7 @@ func RunCacheFeedback(scale Scale) (Result, error) {
 	// SVM (SKLearn) and linear SVM (Spark), each behind its framework
 	// profile.
 	build := func(cacheSize int) (*core.Clipper, *core.Application, error) {
-		cl := core.New(core.Config{CacheSize: cacheSize})
+		cl := core.New(core.Config{CacheSize: cacheSize, Scheduler: rrSched()})
 		type pair struct {
 			m models.Model
 			p frameworks.Profile

@@ -39,7 +39,7 @@ func RunCascade(scale Scale) (Result, error) {
 		models.KernelConfig{Landmarks: 256, Linear: models.DefaultLinearConfig(), Seed: 1})
 
 	build := func(cascade *core.CascadeConfig) (*core.Clipper, *core.Application, error) {
-		cl := core.New(core.Config{CacheSize: -1})
+		cl := core.New(core.Config{CacheSize: -1, Scheduler: rrSched()})
 		cheapPred := frameworks.NewSimPredictor(cheap, frameworks.Profile{
 			Name: cheap.Name(), Fixed: 150 * time.Microsecond, PerItem: 10 * time.Microsecond,
 		}, train.Dim, 1)

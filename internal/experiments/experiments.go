@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"clipper/internal/core"
 )
 
 // Scale selects experiment fidelity.
@@ -95,4 +97,12 @@ func init() {
 	register("ablation-eta", RunAblationExp3Eta)
 	register("ablation-cache", RunAblationCacheSize)
 	register("extension-cascade", RunCascade)
+}
+
+// rrSched pins an experiment's Clipper node to round-robin dispatch.
+// The paper figures were measured before load-aware scheduling existed;
+// pinning keeps their replica-visit order deterministic so the plotted
+// numbers stay comparable across scheduler changes.
+func rrSched() core.SchedulerConfig {
+	return core.SchedulerConfig{Policy: core.SchedRoundRobin}
 }

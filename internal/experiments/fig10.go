@@ -36,7 +36,7 @@ func RunFig10(scale Scale) (Result, error) {
 
 	// Train one model per dialect plus a dialect-oblivious model.
 	modelNames := make([]string, 0, cfg.NumDialects+1)
-	cl := core.New(core.Config{CacheSize: 1 << 16})
+	cl := core.New(core.Config{CacheSize: 1 << 16, Scheduler: rrSched()})
 	defer cl.Close()
 	lcfg := models.LinearConfig{Epochs: 4, LearningRate: 0.05, Lambda: 1e-4, Seed: 2}
 	for d := 0; d < cfg.NumDialects; d++ {

@@ -111,7 +111,7 @@ func runClipperVariant(profile frameworks.Profile, dim, batch int, pyPerItem tim
 	}
 	defer stop()
 
-	cl := core.New(core.Config{CacheSize: -1})
+	cl := core.New(core.Config{CacheSize: -1, Scheduler: rrSched()})
 	defer cl.Close()
 	if _, err := cl.Deploy(remote, nil, batching.QueueConfig{
 		Controller:   batching.NewFixed(batch),

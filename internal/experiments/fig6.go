@@ -59,7 +59,7 @@ func RunFig6(scale Scale) (Result, error) {
 // throughput plus latency.
 func runReplicaScaling(n int, gbps float64, dim, workers int, warm, measure time.Duration) (agg, meanLat, p99 float64, err error) {
 	fabric := simnet.NewFabric(simnet.Gbps(gbps), 50*time.Microsecond)
-	cl := core.New(core.Config{CacheSize: -1}) // every query must hit a replica
+	cl := core.New(core.Config{CacheSize: -1, Scheduler: rrSched()}) // every query must hit a replica
 	defer cl.Close()
 
 	profile := frameworks.GPUDeepModel("gpu-deep", 16)

@@ -64,7 +64,7 @@ type StragglerRow struct {
 // or without a straggler deadline, and measures queries sequential
 // predictions.
 func runStragglerTrial(k int, mitigate bool, queries int, train, test *dataset.Dataset) (StragglerRow, error) {
-	cl := core.New(core.Config{CacheSize: -1})
+	cl := core.New(core.Config{CacheSize: -1, Scheduler: rrSched()})
 	defer cl.Close()
 
 	modelNames := make([]string, k)

@@ -131,6 +131,74 @@ func TestAdminReplicasEndpoint(t *testing.T) {
 	}
 }
 
+// TestAdminReplicasLoadFields: after traffic, /replicas carries the
+// scheduler's per-replica load estimate and hedge counters under stable
+// JSON keys, so operators can watch dispatch decisions live.
+func TestAdminReplicasLoadFields(t *testing.T) {
+	s, _ := newTestServer(t)
+	h := s.Handler()
+
+	// Distinct inputs defeat the prediction cache so every request
+	// reaches the replicas and warms their service-time estimates.
+	for i := 0; i < 8; i++ {
+		rec := postJSON(t, h, "/api/v1/predict", PredictRequest{
+			App: "demo", Input: []float64{float64(i)},
+		})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("predict %d: status %d body=%s", i, rec.Code, rec.Body)
+		}
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/api/v1/admin/replicas?model=m0", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+
+	// The keys are API surface: decode raw to pin their names.
+	var raw map[string]map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for id, fields := range raw {
+		for _, key := range []string{
+			"queued", "in_flight_batches", "in_flight_queries",
+			"completed_queries", "service_ewma_ms", "est_cost_ms",
+			"hedges_from", "hedges_won",
+		} {
+			if _, ok := fields[key]; !ok {
+				t.Fatalf("replica %s: JSON missing %q: %s", id, key, rec.Body)
+			}
+		}
+	}
+
+	var statuses map[string]core.ReplicaStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &statuses); err != nil {
+		t.Fatal(err)
+	}
+	if len(statuses) != 1 {
+		t.Fatalf("statuses = %v", statuses)
+	}
+	for _, st := range statuses {
+		if st.CompletedQueries != 8 {
+			t.Fatalf("completed_queries = %d, want 8", st.CompletedQueries)
+		}
+		if st.ServiceEWMAMillis <= 0 {
+			t.Fatalf("service_ewma_ms = %v, want > 0 after traffic", st.ServiceEWMAMillis)
+		}
+		if st.EstCostMillis <= 0 {
+			t.Fatalf("est_cost_ms = %v, want > 0 once warm", st.EstCostMillis)
+		}
+		if st.Queued != 0 || st.InFlightQueries != 0 {
+			t.Fatalf("idle replica reports load: %+v", st)
+		}
+		if st.HedgesFrom != 0 || st.HedgesWon != 0 {
+			t.Fatalf("hedge counters nonzero without hedging: %+v", st)
+		}
+	}
+}
+
 // TestAdminReplicasDegradedPool is the pool-aware health regression test:
 // a replica that lost 1 of its 2 pooled connections must surface
 // live_conns < total_conns through the replicas endpoint — visible

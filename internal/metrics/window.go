@@ -112,39 +112,3 @@ func (w *SlidingWindow) Reset() {
 	defer w.mu.Unlock()
 	w.next, w.full, w.sum = 0, false, 0
 }
-
-// EWMA is an exponentially weighted moving average. The zero value is not
-// usable; construct with NewEWMA.
-type EWMA struct {
-	mu    sync.Mutex
-	alpha float64
-	value float64
-	init  bool
-}
-
-// NewEWMA returns an EWMA with smoothing factor alpha in (0, 1]. Larger
-// alpha weights recent observations more heavily.
-func NewEWMA(alpha float64) *EWMA {
-	if alpha <= 0 || alpha > 1 {
-		alpha = 0.2
-	}
-	return &EWMA{alpha: alpha}
-}
-
-// Observe folds a new observation into the average.
-func (e *EWMA) Observe(v float64) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if !e.init {
-		e.value, e.init = v, true
-		return
-	}
-	e.value = e.alpha*v + (1-e.alpha)*e.value
-}
-
-// Value returns the current average, or 0 before any observation.
-func (e *EWMA) Value() float64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.value
-}

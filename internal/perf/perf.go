@@ -23,6 +23,7 @@ import (
 
 	"clipper/internal/batching"
 	"clipper/internal/container"
+	"clipper/internal/core"
 	"clipper/internal/rpc"
 	"clipper/internal/simnet"
 )
@@ -74,6 +75,16 @@ var requiredMeasurements = []string{
 	"codec_pipeline_rows_qps",
 	"codec_pipeline_tensor_qps",
 	"codec_pipeline_tensor_speedup",
+	"sched_skew_baseline_p99_ms",
+	"sched_skew_baseline_qps",
+	"sched_skew_rr_p99_ms",
+	"sched_skew_rr_qps",
+	"sched_skew_jsq_p99_ms",
+	"sched_skew_jsq_qps",
+	"sched_skew_hedge_p99_ms",
+	"sched_skew_hedge_qps",
+	"sched_skew_rr_p99_x",
+	"sched_skew_hedge_p99_x",
 }
 
 // Validate checks a report's schema sanity: id and go version present,
@@ -713,6 +724,13 @@ func Run(id string, dur time.Duration) Report {
 			codecTensor = q
 		}
 	}
+	// Replica skew: the same 4-replica fleet, all healthy (baseline) and
+	// with one replica 15x slower, dispatched blind (rr), load-aware
+	// (jsq), and load-aware with straggler hedging (hedge).
+	skewBase := SchedulerSkewTail(core.SchedRoundRobin, false, false, dur)
+	skewRR := SchedulerSkewTail(core.SchedRoundRobin, false, true, dur)
+	skewJSQ := SchedulerSkewTail(core.SchedJSQ, false, true, dur)
+	skewHedge := SchedulerSkewTail(core.SchedJSQ, true, true, dur)
 	rep.Measurements = append(rep.Measurements,
 		Measurement{Name: "dispatch_pipeline_inflight1", Unit: "qps", Value: qps1},
 		Measurement{Name: "dispatch_pipeline_inflight4", Unit: "qps", Value: qps4},
@@ -757,6 +775,24 @@ func Run(id string, dur time.Duration) Report {
 		// Whole-path allocation bill: per-query allocations across both
 		// sides of a loopback ViewPredictor round trip at batch 64.
 		Measurement{Name: "loopback_tensor_allocs_per_query", Unit: "allocs/query", Value: LoopbackTensorAllocsPerQuery(64, 128)},
+		// Straggler mitigation: p99 under one-slow-of-four skew, per
+		// policy, against the all-healthy baseline. The _x ratios are the
+		// headline — round-robin inherits the straggler's service time
+		// (>= 3x baseline p99); JSQ+hedging stays near baseline.
+		Measurement{Name: "sched_skew_baseline_p99_ms", Unit: "ms", Value: float64(skewBase.P99) / 1e6},
+		Measurement{Name: "sched_skew_baseline_qps", Unit: "qps", Value: skewBase.QPS},
+		Measurement{Name: "sched_skew_rr_p99_ms", Unit: "ms", Value: float64(skewRR.P99) / 1e6},
+		Measurement{Name: "sched_skew_rr_qps", Unit: "qps", Value: skewRR.QPS},
+		Measurement{Name: "sched_skew_jsq_p99_ms", Unit: "ms", Value: float64(skewJSQ.P99) / 1e6},
+		Measurement{Name: "sched_skew_jsq_qps", Unit: "qps", Value: skewJSQ.QPS},
+		Measurement{Name: "sched_skew_hedge_p99_ms", Unit: "ms", Value: float64(skewHedge.P99) / 1e6},
+		Measurement{Name: "sched_skew_hedge_qps", Unit: "qps", Value: skewHedge.QPS},
+		Measurement{Name: "sched_skew_rr_p99_x", Unit: "x", Value: float64(skewRR.P99) / float64(skewBase.P99)},
+		Measurement{Name: "sched_skew_hedge_p99_x", Unit: "x", Value: float64(skewHedge.P99) / float64(skewBase.P99)},
+		// Hedge counters from the hedged skew run, for the record (not
+		// gated: at smoke durations hedges can legitimately be zero).
+		Measurement{Name: "sched_skew_hedges_issued", Unit: "count", Value: float64(skewHedge.Stats.HedgesIssued)},
+		Measurement{Name: "sched_skew_hedges_won", Unit: "count", Value: float64(skewHedge.Stats.HedgesWon)},
 	)
 	return rep
 }

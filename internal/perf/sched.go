@@ -1,0 +1,113 @@
+package perf
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"clipper/internal/batching"
+	"clipper/internal/core"
+)
+
+// This file measures the cross-replica scheduler under replica skew: one
+// of four replicas an order of magnitude slower than its siblings, the
+// straggler scenario of paper §4.3. Round-robin routes ~1/4 of all
+// queries into the slow replica's queue and inherits its service time as
+// the fleet's p99; join-shortest-queue starves the straggler; hedging
+// rescues the exploration probes that still land on it. BENCH_PR7.json
+// records all three next to the all-healthy baseline.
+
+// SkewResult is one scheduler-skew run's outcome.
+type SkewResult struct {
+	// QPS is completed queries per second over the measured (second)
+	// half of the run.
+	QPS float64
+	// P99 is the 99th-percentile end-to-end submit latency over the
+	// measured half.
+	P99 time.Duration
+	// Stats are the scheduler's dispatch/hedge counters at run end.
+	Stats core.SchedulerStats
+}
+
+// SchedulerSkewTail drives a 4-replica model through the cross-replica
+// scheduler with closed-loop submitters for roughly dur. When skewed,
+// one replica serves batches 15x slower than the other three; hedged
+// additionally enables straggler hedging. The first half of the run is
+// warm-up (cold-estimate round-robin, hedge threshold seeding) and is
+// discarded; QPS and P99 cover the second half only.
+func SchedulerSkewTail(policy core.SchedPolicy, hedged, skewed bool, dur time.Duration) SkewResult {
+	const (
+		replicas  = 4
+		fastDelay = time.Millisecond
+		slowDelay = 15 * time.Millisecond
+	)
+	cfg := core.SchedulerConfig{Policy: policy}
+	if hedged {
+		cfg.Hedge = core.HedgeConfig{
+			Enabled: true, MinDelay: time.Millisecond, BudgetFrac: 0.2,
+		}
+	}
+	cl := core.New(core.Config{CacheSize: -1, Scheduler: cfg})
+	defer cl.Close()
+	for i := 0; i < replicas; i++ {
+		d := fastDelay
+		if skewed && i == 0 {
+			d = slowDelay
+		}
+		if _, err := cl.Deploy(&latencyPredictor{latency: d}, nil, batching.QueueConfig{
+			Controller: batching.NewFixed(8), InFlight: 1,
+		}); err != nil {
+			panic(err)
+		}
+	}
+
+	type obs struct {
+		start time.Time
+		lat   time.Duration
+	}
+	const submitters = 12
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	perWorker := make([][]obs, submitters)
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			x := []float64{float64(s)}
+			for ctx.Err() == nil {
+				start := time.Now()
+				if _, err := cl.SubmitModel(ctx, "latency", x); err != nil {
+					break
+				}
+				perWorker[s] = append(perWorker[s], obs{start, time.Since(start)})
+			}
+		}(s)
+	}
+	begin := time.Now()
+	time.Sleep(dur / 2)
+	mid := time.Now()
+	time.Sleep(dur - time.Since(begin))
+	end := time.Now()
+	cancel()
+	wg.Wait()
+
+	var lats []time.Duration
+	for _, w := range perWorker {
+		for _, o := range w {
+			if o.start.After(mid) {
+				lats = append(lats, o.lat)
+			}
+		}
+	}
+	res := SkewResult{}
+	res.Stats, _ = cl.SchedulerStats("latency")
+	if len(lats) == 0 {
+		return res
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	res.P99 = lats[len(lats)*99/100]
+	res.QPS = float64(len(lats)) / end.Sub(mid).Seconds()
+	return res
+}

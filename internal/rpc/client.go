@@ -129,6 +129,11 @@ func NewClient(conn io.ReadWriteCloser) *Client {
 // failed or Close was called. Pool watches it to trigger redials.
 func (c *Client) Done() <-chan struct{} { return c.done }
 
+// Alive reports whether the client has not yet died — a single channel
+// poll, cheap enough for per-dispatch checks (unlike Stats, which reads
+// the write-side counters too).
+func (c *Client) Alive() bool { return c.alive() }
+
 // alive reports whether the client has not yet died. Pool uses it to route
 // new calls away from a dead connection its monitor hasn't replaced yet.
 func (c *Client) alive() bool {

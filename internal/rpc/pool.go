@@ -129,6 +129,19 @@ func (p *Pool) Stats() PoolStats {
 	return st
 }
 
+// LiveConns reports live connections vs total slots from per-slot atomic
+// loads and channel polls only — cheap enough for the per-dispatch
+// scheduling path, unlike Stats, which also aggregates every slot's
+// write-side counters.
+func (p *Pool) LiveConns() (live, total int) {
+	for i := range p.slots {
+		if c := p.slots[i].Load(); c != nil && c.alive() {
+			live++
+		}
+	}
+	return live, len(p.slots)
+}
+
 // SetTarget sets the routing target: new calls round-robin over the first
 // n slots (clamped to [1, Conns]) and only spill past them when none of
 // those connections are live. Connections above the target stay open and

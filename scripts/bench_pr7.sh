@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# bench_pr7.sh — record the PR 7 performance trajectory.
+#
+# Runs the hot-path perf suite and writes the JSON report to
+# BENCH_PR7.json at the repo root. New in this report, alongside the
+# dispatch/pool/adaptive/codec rows carried forward for before/after
+# comparison against BENCH_PR6.json, is the scheduler-skew family: a
+# 4-replica fleet with one replica 15x slower, dispatched three ways —
+#
+#   - sched_skew_rr_*: blind round-robin, which routes ~1/4 of queries
+#     into the straggler's queue and inherits its service time as the
+#     fleet p99 (sched_skew_rr_p99_x >= 3x the all-healthy baseline).
+#   - sched_skew_jsq_*: join-shortest-queue cost routing, which starves
+#     the straggler down to exploration-probe traffic.
+#   - sched_skew_hedge_*: JSQ plus straggler hedging, which rescues the
+#     probes that still land on the slow replica
+#     (sched_skew_hedge_p99_x stays near 1x baseline; the acceptance
+#     bound is <= 1.5x where round-robin is >= 3x).
+#
+# sched_skew_hedges_issued/won record hedge activity for the run; they
+# are not gated (at smoke durations hedges can legitimately be zero).
+#
+# The same scenario runs as an end-to-end test over real sockets in
+# internal/integration (TestSkewedReplicaHedgedTail).
+. "$(dirname "$0")/bench_lib.sh"
+run_perf BENCH_PR7.json -id pr7-scheduler -dur "${BENCH_PR7_DUR:-2s}"
+check_report BENCH_PR7.json
