@@ -72,6 +72,14 @@ type (
 	// ReplicaStatus is one replica's operational snapshot, including the
 	// scheduler's live load estimate.
 	ReplicaStatus = core.ReplicaStatus
+	// TenantStatus is one tenant's slice of a replica's batch queue
+	// (ReplicaStatus.Tenants).
+	TenantStatus = core.TenantStatus
+	// ShedPolicy selects SLO admission control (AppConfig.Shed):
+	// ShedNone, ShedReject, or ShedDegrade.
+	ShedPolicy = core.ShedPolicy
+	// AppStatus is one application's QoS/serving snapshot.
+	AppStatus = core.AppStatus
 )
 
 // Scheduler policies.
@@ -82,6 +90,22 @@ const (
 	// SchedRoundRobin restores blind rotation across replicas.
 	SchedRoundRobin = core.SchedRoundRobin
 )
+
+// SLO admission (shed) policies for AppConfig.Shed.
+const (
+	// ShedNone serves every query best-effort (the default).
+	ShedNone = core.ShedNone
+	// ShedReject refuses queries predicted to bust the SLO with
+	// ErrSLOShed.
+	ShedReject = core.ShedReject
+	// ShedDegrade answers them from stale cache entries or the default
+	// label without querying any model.
+	ShedDegrade = core.ShedDegrade
+)
+
+// ErrSLOShed is returned under ShedReject when the admission gate
+// predicts a query cannot complete within the application's SLO.
+var ErrSLOShed = core.ErrSLOShed
 
 // Model container types.
 type (
@@ -131,6 +155,10 @@ func New(cfg Config) *Clipper { return core.New(cfg) }
 // ParseSchedPolicy parses a dispatch policy name ("jsq", "rr",
 // "round-robin") for Config.Scheduler.Policy.
 func ParseSchedPolicy(s string) (SchedPolicy, error) { return core.ParseSchedPolicy(s) }
+
+// ParseShedPolicy parses a shed policy name ("none", "reject",
+// "degrade") for AppConfig.Shed.
+func ParseShedPolicy(s string) (ShedPolicy, error) { return core.ParseShedPolicy(s) }
 
 // NewAIMD returns Clipper's default adaptive batch-size controller.
 func NewAIMD(cfg AIMDConfig) Controller { return batching.NewAIMD(cfg) }

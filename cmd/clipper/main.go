@@ -48,10 +48,17 @@ func main() {
 		hedge       = flag.Bool("hedge", false, "hedge straggling requests onto the fastest sibling replica")
 		hedgeBudget = flag.Float64("hedge-budget", 0.1, "max hedges as a fraction of offered load (with -hedge)")
 		hedgeQuant  = flag.Float64("hedge-quantile", 0.9, "per-replica latency quantile deriving the hedge delay (with -hedge)")
+		qos         = flag.Bool("qos", false, "opt the demo app into multi-tenant QoS: tenant-tagged fair batching plus SLO admission control")
+		weight      = flag.Int("weight", 1, "demo app fair-batching weight (with -qos)")
+		shedName    = flag.String("shed-policy", "reject", "SLO admission policy with -qos: none, reject, or degrade")
 	)
 	flag.Parse()
 
 	policy, err := clipper.ParseSchedPolicy(*schedName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shed, err := clipper.ParseShedPolicy(*shedName)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -147,12 +154,18 @@ func main() {
 		log.Fatal("nothing to serve: pass -containers or drop -no-demo")
 	}
 
-	if _, err := cl.RegisterApp(clipper.AppConfig{
+	appCfg := clipper.AppConfig{
 		Name:   "demo",
 		Models: names,
 		Policy: clipper.NewExp4(0.3),
 		SLO:    *slo,
-	}); err != nil {
+	}
+	if *qos {
+		appCfg.Weight = *weight
+		appCfg.Shed = shed
+		log.Printf("QoS on: weight %d, shed policy %s", *weight, shed)
+	}
+	if _, err := cl.RegisterApp(appCfg); err != nil {
 		log.Fatalf("register app: %v", err)
 	}
 

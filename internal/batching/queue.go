@@ -163,6 +163,21 @@ type Queue struct {
 	submitMu sync.RWMutex
 	stopOnce sync.Once
 
+	// Multi-tenant fair batching (tenant.go). fairMode is the sticky
+	// switch from FIFO to weighted deficit-round-robin collection; the
+	// remaining fields are the per-tenant sub-queues and DRR rotation
+	// state. Queues that never see a tenant keep fairMode false and never
+	// touch any of this — the untagged path is byte-for-byte the
+	// single-tenant dispatcher.
+	fairMode      atomic.Bool
+	tenMu         sync.Mutex
+	tenants       map[string]*tenantQueue
+	tenOrder      []*tenantQueue // registration order = DRR rotation order
+	drrPos        int            // rotation position into tenOrder
+	drrMid        bool           // resuming a tenant mid-round: skip re-credit
+	tenantPending atomic.Int64   // requests across all sub-queues
+	tenantNotify  chan struct{}  // buffered(1) "state changed" wakeup
+
 	// Load telemetry for the cross-replica scheduler (internal/core):
 	// counters updated at every queue transition, so dispatch can cost a
 	// replica from atomic loads instead of polling or locking the queue.
@@ -201,6 +216,7 @@ func NewQueue(pred container.Predictor, cfg QueueConfig) *Queue {
 		in:           make(chan *request, depth),
 		stop:         make(chan struct{}),
 		done:         make(chan struct{}),
+		tenantNotify: make(chan struct{}, 1),
 		adapt:        cfg.Adaptive,
 		BatchLatency: metrics.NewHistogram(),
 		BatchSizes:   metrics.NewHistogram(),
@@ -356,12 +372,24 @@ func (q *Queue) dispatchLoop() {
 		// whose ticket was cancelled while they waited.
 		var first *request
 		for first == nil {
+			if q.fairEngaged() {
+				if first = q.firstFair(); first == nil {
+					q.releaseSlot()
+					q.drainClosed()
+					q.wg.Wait() // in-flight batches still deliver their results
+					return
+				}
+				break
+			}
 			select {
 			case r := <-q.in:
 				q.queued.Add(-1)
 				if r.claim() {
 					first = r
 				}
+			case <-q.tenantNotify:
+				// First tenant just registered: loop back and re-check
+				// fairEngaged, taking the fair path for this batch.
 			case <-q.stop:
 				q.releaseSlot()
 				q.drainClosed()
@@ -369,7 +397,12 @@ func (q *Queue) dispatchLoop() {
 				return
 			}
 		}
-		batch := q.collect(first)
+		var batch []*request
+		if q.fairEngaged() {
+			batch = q.collectFair(first)
+		} else {
+			batch = q.collect(first)
+		}
 		serial := cap(q.inflight) == 1
 		if q.win != nil {
 			// An adaptive window that has converged to 1 is serial too;
@@ -553,6 +586,7 @@ func (q *Queue) collect(first *request) []*request {
 // ticket requests are dropped silently — their callers were already told
 // the request would never be delivered.
 func (q *Queue) drainClosed() {
+	q.drainTenantsClosed()
 	for {
 		select {
 		case r := <-q.in:

@@ -1,0 +1,88 @@
+package batching
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// FuzzSubmitTenant drives random interleavings of tenant-tagged submits,
+// weight changes, cancellations, and untagged traffic through one queue
+// and checks the invariants the collector promises: every live request
+// resolves (no deadlock), exactly once (no double delivery), and a
+// successful Cancel means no delivery at all. Each input byte is one
+// operation: the low two bits pick the op, the next two pick the tenant
+// ("" exercises the untagged path and the fair-mode fold), the high bits
+// parameterize it.
+func FuzzSubmitTenant(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03})
+	f.Add([]byte{0x06, 0x04, 0x05, 0xff, 0x42, 0x81, 0x13})
+	f.Add([]byte{0x02, 0x12, 0x22, 0x32, 0x00, 0x10, 0x20, 0x30, 0x01, 0x11})
+
+	tenants := []string{"", "a", "b", "c"}
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		m := newGateModel()
+		close(m.release) // free-running model: batches never park
+		q := NewQueue(m, QueueConfig{Controller: NewFixed(4), InFlight: 2})
+
+		ctx := context.Background()
+		var live, cancelled []*Ticket
+		for _, b := range ops {
+			tenant := tenants[int(b>>2)%len(tenants)]
+			switch b % 4 {
+			case 0: // submit and keep
+				tk, err := q.SubmitTicketTenant(ctx, tenant, []float64{float64(b)})
+				if err != nil {
+					t.Fatalf("SubmitTicketTenant: %v", err)
+				}
+				live = append(live, tk)
+			case 1: // submit and race an immediate cancel
+				tk, err := q.SubmitTicketTenant(ctx, tenant, []float64{float64(b)})
+				if err != nil {
+					t.Fatalf("SubmitTicketTenant: %v", err)
+				}
+				if tk.Cancel() {
+					cancelled = append(cancelled, tk)
+				} else {
+					live = append(live, tk) // batch won: still owed one Result
+				}
+			case 2: // reweight (0 clamps to 1)
+				q.SetTenantWeight(tenant, int(b>>4))
+			case 3: // blocking submit end to end
+				if _, err := q.SubmitTenant(ctx, tenant, []float64{float64(b)}); err != nil {
+					t.Fatalf("SubmitTenant: %v", err)
+				}
+			}
+		}
+
+		// No deadlock: every live ticket resolves.
+		for i, tk := range live {
+			select {
+			case res := <-tk.Done():
+				if res.Err != nil {
+					t.Fatalf("ticket %d failed: %v", i, res.Err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatalf("ticket %d never delivered: collector deadlocked", i)
+			}
+		}
+		q.Close() // waits out all in-flight batches
+
+		// No double delivery, and cancelled tickets got nothing.
+		for i, tk := range live {
+			select {
+			case res := <-tk.Done():
+				t.Fatalf("ticket %d delivered twice: %+v", i, res)
+			default:
+			}
+		}
+		for i, tk := range cancelled {
+			select {
+			case res := <-tk.Done():
+				t.Fatalf("cancelled ticket %d delivered %+v", i, res)
+			default:
+			}
+		}
+	})
+}

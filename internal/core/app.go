@@ -40,6 +40,20 @@ type AppConfig struct {
 	Cascade *CascadeConfig
 	// Seed drives the policy's selection randomness.
 	Seed int64
+
+	// Weight is the application's fair-batching share when multiple
+	// tenants compete for a replica's batch queue (weighted deficit
+	// round-robin; see internal/batching). Zero selects 1. Weights — and
+	// tenant tagging itself — engage only when the application opts into
+	// QoS by setting a nonzero Weight or a Shed policy; apps that set
+	// neither stay on the untagged FIFO path the paper experiments pin.
+	Weight int
+	// Shed selects the SLO admission policy (qos.go): ShedNone (default)
+	// admits every query; ShedReject refuses queries whose predicted
+	// completion would bust SLO; ShedDegrade answers them from stale
+	// cache entries or the default label instead (§5.2.2 fallback
+	// semantics). Requires a positive SLO to have any effect.
+	Shed ShedPolicy
 }
 
 // CascadeConfig parameterizes two-stage cascade serving.
@@ -69,6 +83,10 @@ type Response struct {
 	// Missing is how many selected models missed the latency deadline
 	// (their predictions were dropped by straggler mitigation).
 	Missing int
+	// Degraded reports that the SLO admission gate predicted a deadline
+	// miss and served this response from stale cache entries or the
+	// default label without querying any model (ShedDegrade).
+	Degraded bool
 	// Latency is the end-to-end prediction latency.
 	Latency time.Duration
 }
@@ -88,6 +106,8 @@ type Application struct {
 	Defaults    *metrics.Counter
 	MissingPct  *metrics.Histogram // % of ensemble missing per query
 	Feedbacks   *metrics.Counter
+	Sheds       *metrics.Counter // queries rejected by the SLO admission gate
+	Degrades    *metrics.Counter // queries degraded by the SLO admission gate
 }
 
 // RegisterApp creates an application over already-deployed models.
@@ -123,6 +143,15 @@ func (cl *Clipper) RegisterApp(cfg AppConfig) (*Application, error) {
 		Defaults:    &metrics.Counter{},
 		MissingPct:  metrics.NewHistogram(),
 		Feedbacks:   &metrics.Counter{},
+		Sheds:       &metrics.Counter{},
+		Degrades:    &metrics.Counter{},
+	}
+	if app.qosEnabled() {
+		// Register the app as a tenant on every model it can reach, so
+		// the replicas' batch queues arbitrate its traffic by weight.
+		for _, m := range cfg.Models {
+			cl.scheds[m].setTenantWeight(cfg.Name, app.weight())
+		}
 	}
 	cl.apps[cfg.Name] = app
 	return app, nil
@@ -155,6 +184,9 @@ func (a *Application) Predict(ctx context.Context, x []float64) (Response, error
 // selection state persisted in the state store.
 func (a *Application) PredictContext(ctx context.Context, contextID string, x []float64) (Response, error) {
 	start := time.Now()
+	if resp, shed, err := a.admit(contextID, x, start); shed {
+		return resp, err
+	}
 	state, err := a.loadState(contextID)
 	if err != nil {
 		return Response{}, err
@@ -352,11 +384,11 @@ func (a *Application) gather(ctx context.Context, indices []int, x []float64, de
 func (a *Application) completeFetch(ctx context.Context, x []float64, f pendingFetch) (container.Prediction, bool) {
 	cl := a.cl
 	if !f.cached {
-		p, err := cl.SubmitModel(ctx, f.model, x)
+		p, err := cl.SubmitModelTenant(ctx, f.model, a.tenant(), x)
 		return p, err == nil
 	}
 	if f.leader {
-		p, err := cl.SubmitModel(ctx, f.model, x)
+		p, err := cl.SubmitModelTenant(ctx, f.model, a.tenant(), x)
 		if err != nil {
 			cl.cache.Abort(f.key)
 			return container.Prediction{}, false

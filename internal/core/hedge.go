@@ -229,15 +229,15 @@ func (s *scheduler) hedgeTarget(primary *replicaQueue, drainedAtSubmit int64) *r
 // a batch — ticket channels are buffered, so the queue never blocks on
 // an abandoned loser). An error from one side falls back to the other,
 // which is what carries a request across a replica that dies mid-flight.
-func (s *scheduler) submitHedged(ctx context.Context, primary *replicaQueue, x []float64) (container.Prediction, error) {
+func (s *scheduler) submitHedged(ctx context.Context, primary *replicaQueue, tenant string, x []float64) (container.Prediction, error) {
 	start := time.Now()
-	tk, err := primary.queue.SubmitTicket(ctx, x)
+	tk, err := primary.queue.SubmitTicketTenant(ctx, tenant, x)
 	if err != nil {
 		// The primary refused outright (queue closed under a swap/stop
 		// race): fail over once instead of surfacing a transient.
 		if alt := s.bestAlternative(primary); alt != nil {
 			s.failovers.Add(1)
-			return s.submitOn(ctx, alt, x)
+			return s.submitOn(ctx, alt, tenant, x)
 		}
 		return container.Prediction{}, err
 	}
@@ -247,7 +247,7 @@ func (s *scheduler) submitHedged(ctx context.Context, primary *replicaQueue, x [
 	defer timer.Stop()
 	select {
 	case res := <-tk.Done():
-		return s.finishPrimary(ctx, primary, res, start, x)
+		return s.finishPrimary(ctx, primary, res, start, tenant, x)
 	case <-ctx.Done():
 		tk.Cancel()
 		return container.Prediction{}, ctx.Err()
@@ -260,7 +260,7 @@ func (s *scheduler) submitHedged(ctx context.Context, primary *replicaQueue, x [
 		// draining fine): wait out the primary.
 		select {
 		case res := <-tk.Done():
-			return s.finishPrimary(ctx, primary, res, start, x)
+			return s.finishPrimary(ctx, primary, res, start, tenant, x)
 		case <-ctx.Done():
 			tk.Cancel()
 			return container.Prediction{}, ctx.Err()
@@ -270,12 +270,12 @@ func (s *scheduler) submitHedged(ctx context.Context, primary *replicaQueue, x [
 	s.hedgesIssued.Add(1)
 	primary.hedgesFrom.Add(1)
 	hstart := time.Now()
-	ht, herr := alt.queue.SubmitTicket(ctx, x)
+	ht, herr := alt.queue.SubmitTicketTenant(ctx, tenant, x)
 	if herr != nil {
 		// Hedge could not even enqueue; the primary is all we have.
 		select {
 		case res := <-tk.Done():
-			return s.finishPrimary(ctx, primary, res, start, x)
+			return s.finishPrimary(ctx, primary, res, start, tenant, x)
 		case <-ctx.Done():
 			tk.Cancel()
 			return container.Prediction{}, ctx.Err()
@@ -333,7 +333,7 @@ func (s *scheduler) submitHedged(ctx context.Context, primary *replicaQueue, x [
 // success feeds the latency tracker; an error fails over once to the
 // best healthy sibling (a replica that died with requests queued fails
 // them all at once — its survivors can still answer).
-func (s *scheduler) finishPrimary(ctx context.Context, primary *replicaQueue, res batching.Result, start time.Time, x []float64) (container.Prediction, error) {
+func (s *scheduler) finishPrimary(ctx context.Context, primary *replicaQueue, res batching.Result, start time.Time, tenant string, x []float64) (container.Prediction, error) {
 	if res.Err == nil {
 		primary.lats.observe(time.Since(start))
 		return res.Pred, nil
@@ -343,7 +343,7 @@ func (s *scheduler) finishPrimary(ctx context.Context, primary *replicaQueue, re
 		return container.Prediction{}, res.Err
 	}
 	s.failovers.Add(1)
-	p, err := s.submitOn(ctx, alt, x)
+	p, err := s.submitOn(ctx, alt, tenant, x)
 	if err != nil {
 		return container.Prediction{}, res.Err // surface the original failure
 	}
@@ -351,9 +351,9 @@ func (s *scheduler) finishPrimary(ctx context.Context, primary *replicaQueue, re
 }
 
 // submitOn is a plain latency-observed submit on one replica.
-func (s *scheduler) submitOn(ctx context.Context, rq *replicaQueue, x []float64) (container.Prediction, error) {
+func (s *scheduler) submitOn(ctx context.Context, rq *replicaQueue, tenant string, x []float64) (container.Prediction, error) {
 	start := time.Now()
-	p, err := rq.queue.Submit(ctx, x)
+	p, err := rq.queue.SubmitTenant(ctx, tenant, x)
 	if err == nil {
 		rq.lats.observe(time.Since(start))
 	}

@@ -142,8 +142,9 @@ type scheduler struct {
 	model string
 	cfg   SchedulerConfig
 
-	mu  sync.RWMutex
-	rqs []*replicaQueue // copy-on-write; snapshots are never mutated
+	mu       sync.RWMutex
+	rqs      []*replicaQueue // copy-on-write; snapshots are never mutated
+	tweights map[string]int  // tenant fair-batching weights, applied to every replica queue
 
 	cursor atomic.Uint64 // free-running rotation cursor
 	picks  atomic.Uint64 // dispatch count, for ProbeEvery
@@ -174,14 +175,33 @@ func (s *scheduler) size() int {
 }
 
 // add appends a replica (copy-on-write, so outstanding snapshots stay
-// valid).
+// valid), applying any registered tenant weights so a late-joining
+// replica arbitrates fairly from its first batch.
 func (s *scheduler) add(rq *replicaQueue) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	for t, w := range s.tweights {
+		rq.queue.SetTenantWeight(t, w)
+	}
 	next := make([]*replicaQueue, len(s.rqs)+1)
 	copy(next, s.rqs)
 	next[len(s.rqs)] = rq
 	s.rqs = next
+}
+
+// setTenantWeight registers a tenant's fair-batching weight on every
+// current replica queue and remembers it for replicas added later.
+func (s *scheduler) setTenantWeight(tenant string, weight int) {
+	s.mu.Lock()
+	if s.tweights == nil {
+		s.tweights = make(map[string]int)
+	}
+	s.tweights[tenant] = weight
+	rqs := s.rqs
+	s.mu.Unlock()
+	for _, rq := range rqs {
+		rq.queue.SetTenantWeight(tenant, weight)
+	}
 }
 
 // replaceAll swaps the whole replica set for one new replica (model
@@ -272,8 +292,9 @@ func (s *scheduler) probeTick() bool {
 
 // submit routes one query: pick a replica, dispatch (hedged when
 // enabled), and feed the observed end-to-end latency back into the
-// replica's tracker.
-func (s *scheduler) submit(ctx context.Context, x []float64) (container.Prediction, error) {
+// replica's tracker. tenant tags the query for fair batching; "" is the
+// untagged FIFO path.
+func (s *scheduler) submit(ctx context.Context, tenant string, x []float64) (container.Prediction, error) {
 	rq := s.pick()
 	if rq == nil {
 		return container.Prediction{}, fmt.Errorf("%w: %q", ErrUnknownModel, s.model)
@@ -281,13 +302,32 @@ func (s *scheduler) submit(ctx context.Context, x []float64) (container.Predicti
 	s.submitted.Add(1)
 	if !s.cfg.Hedge.Enabled {
 		start := time.Now()
-		p, err := rq.queue.Submit(ctx, x)
+		p, err := rq.queue.SubmitTenant(ctx, tenant, x)
 		if err == nil {
 			rq.lats.observe(time.Since(start))
 		}
 		return p, err
 	}
-	return s.submitHedged(ctx, rq, x)
+	return s.submitHedged(ctx, rq, tenant, x)
+}
+
+// minEstCost is the scheduler's lowest estimated completion time for one
+// more query across its healthy replicas — what the QoS admission gate
+// compares against an application's SLO. ok is false while no healthy
+// replica has priced itself (a cold system cannot predict a violation,
+// so it admits).
+func (s *scheduler) minEstCost() (time.Duration, bool) {
+	var best time.Duration
+	found := false
+	for _, rq := range s.snapshot() {
+		if !rq.health.healthy.Load() {
+			continue
+		}
+		if cost, warm := rq.estCost(); warm && (!found || cost < best) {
+			best, found = cost, true
+		}
+	}
+	return best, found
 }
 
 // SchedulerStats is one model's cross-replica dispatch counters.
@@ -338,11 +378,18 @@ func (cl *Clipper) SchedulerStats(model string) (SchedulerStats, bool) {
 // scheduler and blocks for its prediction. The application prediction
 // path uses it per fetched model; benchmarks drive it directly.
 func (cl *Clipper) SubmitModel(ctx context.Context, model string, x []float64) (container.Prediction, error) {
+	return cl.SubmitModelTenant(ctx, model, "", x)
+}
+
+// SubmitModelTenant is SubmitModel with a tenant tag for fair batching
+// across applications sharing the model's replicas. An empty tenant is
+// the untagged FIFO path.
+func (cl *Clipper) SubmitModelTenant(ctx context.Context, model, tenant string, x []float64) (container.Prediction, error) {
 	cl.mu.Lock()
 	s := cl.scheds[model]
 	cl.mu.Unlock()
 	if s == nil {
 		return container.Prediction{}, fmt.Errorf("%w: %q", ErrUnknownModel, model)
 	}
-	return s.submit(ctx, x)
+	return s.submit(ctx, tenant, x)
 }

@@ -51,6 +51,25 @@ type ReplicaStatus struct {
 	// replica answered first (it was the rescuer).
 	HedgesFrom int64 `json:"hedges_from"`
 	HedgesWon  int64 `json:"hedges_won"`
+	// Tenants is the queue's per-tenant fair-batching snapshot, in
+	// registration order. Empty until multi-tenant QoS engages on this
+	// replica.
+	Tenants []TenantStatus `json:"tenants,omitempty"`
+}
+
+// TenantStatus is one tenant's slice of a replica's batch queue.
+type TenantStatus struct {
+	// Tenant is the application name ("" for untagged traffic that
+	// arrived after fair batching engaged).
+	Tenant string `json:"tenant"`
+	// Weight is the tenant's deficit-round-robin weight.
+	Weight int `json:"weight"`
+	// Queued is the tenant's current sub-queue backlog.
+	Queued int `json:"queued"`
+	// Served is the total queries dequeued into batches for this tenant.
+	Served int64 `json:"served"`
+	// Deficit is the tenant's unspent round-robin credit.
+	Deficit int `json:"deficit"`
 }
 
 // ReplicaStatuses reports each replica's status for a model, keyed by
@@ -82,6 +101,15 @@ func (cl *Clipper) ReplicaStatuses(model string) map[string]ReplicaStatus {
 			st.LiveConns = s.Live
 			st.TotalConns = s.Conns
 			st.TargetConns = s.Target
+		}
+		for _, tl := range rq.queue.TenantStats() {
+			st.Tenants = append(st.Tenants, TenantStatus{
+				Tenant:  tl.Tenant,
+				Weight:  tl.Weight,
+				Queued:  tl.Queued,
+				Served:  tl.Served,
+				Deficit: tl.Deficit,
+			})
 		}
 		out[rq.replica.ID] = st
 	}

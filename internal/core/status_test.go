@@ -1,0 +1,99 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"clipper/internal/selection"
+)
+
+// TestReplicaStatusesUnhealthyAndRecovery walks a two-replica model
+// through full outage and staged recovery, checking the admin snapshot
+// tracks every transition (the surface operators act on during an
+// incident).
+func TestReplicaStatusesUnhealthyAndRecovery(t *testing.T) {
+	cl := newClipperWithModels(t, &stubModel{name: "m", label: 1}, &stubModel{name: "m", label: 2})
+
+	sts := cl.ReplicaStatuses("m")
+	if len(sts) != 2 {
+		t.Fatalf("got %d replica statuses, want 2", len(sts))
+	}
+	ids := make([]string, 0, 2)
+	for id, st := range sts {
+		if !st.Healthy {
+			t.Errorf("fresh replica %s reported unhealthy", id)
+		}
+		if len(st.Tenants) != 0 {
+			t.Errorf("replica %s reports tenants %v before QoS engaged", id, st.Tenants)
+		}
+		ids = append(ids, id)
+	}
+
+	// Full outage: every replica down, and the snapshot says so.
+	for _, id := range ids {
+		if !cl.MarkUnhealthy(id) {
+			t.Fatalf("MarkUnhealthy(%s) found no replica", id)
+		}
+	}
+	for id, st := range cl.ReplicaStatuses("m") {
+		if st.Healthy {
+			t.Errorf("replica %s healthy after MarkUnhealthy", id)
+		}
+	}
+	// An all-unhealthy pool has no warm healthy replica to price against.
+	s := modelScheduler(t, cl, "m")
+	if cost, ok := s.minEstCost(); ok {
+		t.Errorf("minEstCost over all-unhealthy pool = %v, true; want cold", cost)
+	}
+
+	// Staged recovery: one back, then both.
+	if !cl.MarkHealthy(ids[0]) {
+		t.Fatalf("MarkHealthy(%s) found no replica", ids[0])
+	}
+	sts = cl.ReplicaStatuses("m")
+	if !sts[ids[0]].Healthy || sts[ids[1]].Healthy {
+		t.Fatalf("partial recovery not reflected: %v healthy=%v, %v healthy=%v",
+			ids[0], sts[ids[0]].Healthy, ids[1], sts[ids[1]].Healthy)
+	}
+	cl.MarkHealthy(ids[1])
+	for id, st := range cl.ReplicaStatuses("m") {
+		if !st.Healthy {
+			t.Errorf("replica %s still unhealthy after recovery", id)
+		}
+	}
+
+	if sts := cl.ReplicaStatuses("no-such-model"); len(sts) != 0 {
+		t.Fatalf("unknown model yielded %d statuses", len(sts))
+	}
+}
+
+// TestReplicaStatusesTenants: registering a QoS-enabled app surfaces its
+// tenant slice (weight, served counts) in the replica snapshot after
+// traffic flows.
+func TestReplicaStatusesTenants(t *testing.T) {
+	cl := newClipperWithModels(t, &stubModel{name: "m", label: 3})
+	app, err := cl.RegisterApp(AppConfig{
+		Name: "gold", Models: []string{"m"}, Policy: selection.NewStatic(0),
+		Weight: 4, Shed: ShedReject, SLO: 0, // weight engages QoS; SLO 0 disables the gate
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Predict(context.Background(), []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	for id, st := range cl.ReplicaStatuses("m") {
+		if len(st.Tenants) != 1 {
+			t.Fatalf("replica %s tenants = %+v, want exactly the app's", id, st.Tenants)
+		}
+		ten := st.Tenants[0]
+		if ten.Tenant != "gold" || ten.Weight != 4 {
+			t.Errorf("tenant snapshot = %+v, want gold with weight 4", ten)
+		}
+		if ten.Served != 1 || ten.Queued != 0 {
+			t.Errorf("tenant served=%d queued=%d after one prediction, want 1 and 0",
+				ten.Served, ten.Queued)
+		}
+	}
+}

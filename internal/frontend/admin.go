@@ -15,7 +15,8 @@ import (
 // introduced without modifying end-user applications"):
 //
 //	POST /api/v1/admin/deploy   {"addr","slo_ms","conns","adaptive",...}  dial + deploy a container
-//	GET  /api/v1/admin/replicas?model=<name>       replica status (health, conns, window)
+//	GET  /api/v1/admin/replicas?model=<name>       replica status (health, conns, window, tenants)
+//	GET  /api/v1/admin/applications                per-app QoS status (SLO, weight, sheds, degrades)
 //	POST /api/v1/admin/health   {"replica","healthy"}
 
 // DeployRequest is the JSON body of POST /api/v1/admin/deploy.
@@ -62,7 +63,17 @@ type HealthRequest struct {
 func (s *Server) registerAdmin() {
 	s.mux.HandleFunc("/api/v1/admin/deploy", s.handleDeploy)
 	s.mux.HandleFunc("/api/v1/admin/replicas", s.handleReplicas)
+	s.mux.HandleFunc("/api/v1/admin/applications", s.handleApplications)
 	s.mux.HandleFunc("/api/v1/admin/health", s.handleHealth403OrSet)
+}
+
+// handleApplications reports every application's QoS/serving snapshot:
+// SLO, fair-batching weight, shed policy, and the shed/degrade/default
+// counters that show the admission gate working (or an app burning its
+// budget). The per-tenant queue view lives on /replicas, keyed by the
+// same application names.
+func (s *Server) handleApplications(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.clipper.AppStatuses())
 }
 
 func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {

@@ -2,6 +2,7 @@ package frontend
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -31,6 +32,13 @@ type RegisterAppRequest struct {
 	ConfidenceThreshold float64 `json:"confidence_threshold,omitempty"`
 	// DefaultLabel is the robust default action.
 	DefaultLabel int `json:"default_label,omitempty"`
+	// Weight is the app's fair-batching weight across tenants sharing a
+	// replica queue; setting it (or a shed policy) opts the app into
+	// multi-tenant QoS. 0 selects 1.
+	Weight int `json:"weight,omitempty"`
+	// ShedPolicy selects SLO admission control: "none" (default),
+	// "reject", or "degrade".
+	ShedPolicy string `json:"shed_policy,omitempty"`
 }
 
 // BatchPredictRequest is the JSON body of POST /api/v1/predict-batch.
@@ -89,6 +97,11 @@ func (s *Server) handleRegisterApp(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	shed, err := core.ParseShedPolicy(req.ShedPolicy)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	_, err = s.clipper.RegisterApp(core.AppConfig{
 		Name:                req.Name,
 		Models:              req.Models,
@@ -96,6 +109,8 @@ func (s *Server) handleRegisterApp(w http.ResponseWriter, r *http.Request) {
 		SLO:                 time.Duration(req.SLOMillis) * time.Millisecond,
 		ConfidenceThreshold: req.ConfidenceThreshold,
 		DefaultLabel:        req.DefaultLabel,
+		Weight:              req.Weight,
+		Shed:                shed,
 	})
 	if err != nil {
 		writeError(w, http.StatusConflict, err.Error())
@@ -136,6 +151,10 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		resp, err := app.PredictContext(r.Context(), req.Context, x)
 		if err != nil {
+			if errors.Is(err, core.ErrSLOShed) {
+				writeError(w, http.StatusServiceUnavailable, err.Error())
+				return
+			}
 			writeError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
@@ -144,6 +163,7 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 			Confidence:  resp.Confidence,
 			UsedDefault: resp.UsedDefault,
 			Missing:     resp.Missing,
+			Degraded:    resp.Degraded,
 			LatencyUS:   resp.Latency.Microseconds(),
 		}
 	}

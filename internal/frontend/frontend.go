@@ -14,6 +14,7 @@ package frontend
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -39,6 +40,7 @@ type PredictResponse struct {
 	Confidence  float64 `json:"confidence"`
 	UsedDefault bool    `json:"used_default"`
 	Missing     int     `json:"missing"`
+	Degraded    bool    `json:"degraded,omitempty"`
 	LatencyUS   int64   `json:"latency_us"`
 }
 
@@ -126,6 +128,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := app.PredictContext(r.Context(), req.Context, req.Input)
 	if err != nil {
+		if errors.Is(err, core.ErrSLOShed) {
+			// The admission gate predicted an SLO bust: tell the caller
+			// to back off, not that the server malfunctioned.
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
@@ -134,6 +142,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		Confidence:  resp.Confidence,
 		UsedDefault: resp.UsedDefault,
 		Missing:     resp.Missing,
+		Degraded:    resp.Degraded,
 		LatencyUS:   resp.Latency.Microseconds(),
 	})
 }

@@ -1,0 +1,143 @@
+package perf
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"clipper/internal/batching"
+	"clipper/internal/core"
+	"clipper/internal/dataset"
+	"clipper/internal/selection"
+	"clipper/internal/workload"
+)
+
+// Tenant-fairness measurement: the noisy-neighbor scenario
+// (workload.NoisyNeighbor) against one shared replica, three ways. Solo
+// runs the quiet latency-sensitive tenant alone — its intrinsic p99.
+// FIFO adds the heavy tenant with QoS off: both share the strict-FIFO
+// queue, so the quiet tenant's latency inherits the heavy backlog. Fair
+// re-runs the contended case with QoS on: weighted-DRR batching plus
+// SLO admission, which should hold the quiet tenant's p99 within ~2x
+// solo while the heavy tenant sheds.
+
+const (
+	fairnessQuietQPS     = 80  // quiet tenant open-loop arrival rate
+	fairnessHeavyWorkers = 256 // heavy tenant closed-loop client count
+)
+
+// FairnessResult carries the three phases' quiet-tenant tail latencies
+// and the fair phase's shed accounting.
+type FairnessResult struct {
+	SoloP99 time.Duration // quiet alone
+	FIFOP99 time.Duration // contended, strict FIFO (QoS off)
+	FairP99 time.Duration // contended, DRR + admission (QoS on)
+
+	// HeavySheds / QuietSheds are the fair phase's admission-gate
+	// rejections per tenant (the quiet tenant should shed ~nothing).
+	HeavySheds int64
+	QuietSheds int64
+	// HeavyIssued / QuietIssued are the fair phase's offered queries.
+	HeavyIssued int
+	QuietIssued int
+}
+
+// TenantFairness runs the three phases, each for roughly dur.
+func TenantFairness(dur time.Duration) FairnessResult {
+	ds := dataset.Gaussian(dataset.GaussianConfig{
+		Name: "fairness", N: 256, Dim: 8, NumClasses: 4,
+		Separation: 3.0, Noise: 1.0, Seed: 11,
+	})
+	var res FairnessResult
+	res.SoloP99, _, _ = fairnessPhase(ds, dur, true, false, &res)
+	res.FIFOP99, _, _ = fairnessPhase(ds, dur, false, true, &res)
+	var hs, qs int64
+	res.FairP99, hs, qs = fairnessPhase(ds, dur, true, true, &res)
+	res.HeavySheds, res.QuietSheds = hs, qs
+	return res
+}
+
+// fairnessPhase runs one configuration on a fresh Clipper node: a single
+// 1ms-per-batch replica (batch cap 8, window 4), the quiet tenant at
+// fairnessQuietQPS open-loop, and optionally the heavy closed-loop
+// fleet. It returns the quiet tenant's p99 and both tenants' shed
+// counts. The issued counts of the contended QoS run land in res.
+func fairnessPhase(ds *dataset.Dataset, dur time.Duration, qos, withHeavy bool, res *FairnessResult) (p99 time.Duration, heavySheds, quietSheds int64) {
+	cl := core.New(core.Config{CacheSize: -1})
+	defer cl.Close()
+	if _, err := cl.Deploy(&latencyPredictor{latency: time.Millisecond}, nil, batching.QueueConfig{
+		Controller: batching.NewFixed(8),
+		InFlight:   4,
+	}); err != nil {
+		panic(err)
+	}
+
+	quietCfg := core.AppConfig{Name: "quiet", Models: []string{"latency"}, Policy: selection.NewStatic(0)}
+	heavyCfg := core.AppConfig{Name: "heavy", Models: []string{"latency"}, Policy: selection.NewStatic(0)}
+	if qos {
+		// The quiet tenant gets 8x the heavy tenant's batch share and a
+		// loose SLO it must never approach (loose enough that even a
+		// scheduling-stall EWMA spike under the contended phases cannot
+		// trip its gate); the heavy tenant's tight SLO makes the
+		// admission gate bound its backlog.
+		quietCfg.SLO, quietCfg.Shed, quietCfg.Weight = 250*time.Millisecond, core.ShedReject, 8
+		heavyCfg.SLO, heavyCfg.Shed, heavyCfg.Weight = 5*time.Millisecond, core.ShedReject, 1
+	}
+	quietApp, err := cl.RegisterApp(quietCfg)
+	if err != nil {
+		panic(err)
+	}
+
+	ctx := context.Background()
+	var mu sync.Mutex
+	var lats []time.Duration
+	quietFn := func(s workload.Sample) {
+		start := time.Now()
+		if _, err := quietApp.Predict(ctx, s.X); err == nil {
+			mu.Lock()
+			lats = append(lats, time.Since(start))
+			mu.Unlock()
+		}
+	}
+
+	if !withHeavy {
+		sampler := workload.NewUniformSampler(ds, 3)
+		runCtx, cancel := context.WithTimeout(ctx, dur)
+		workload.RunOpenLoop(runCtx, fairnessQuietQPS, dur, 5, func() { quietFn(sampler.Next()) })
+		cancel()
+	} else {
+		heavyApp, err := cl.RegisterApp(heavyCfg)
+		if err != nil {
+			panic(err)
+		}
+		heavyFn := func(s workload.Sample) {
+			if _, err := heavyApp.Predict(ctx, s.X); err != nil {
+				// Shed: a real client backs off instead of hot-spinning
+				// the admission gate.
+				time.Sleep(time.Millisecond)
+			}
+		}
+		hi, qi := workload.NoisyNeighbor(ctx, ds, workload.NoisyNeighborConfig{
+			HeavyWorkers: fairnessHeavyWorkers,
+			QuietRate:    fairnessQuietQPS,
+			Duration:     dur,
+			Seed:         7,
+		}, heavyFn, quietFn)
+		if qos {
+			res.HeavyIssued, res.QuietIssued = hi, qi
+		}
+		heavySheds = heavyApp.Sheds.Value()
+	}
+	quietSheds = quietApp.Sheds.Value()
+	return quietP99(lats), heavySheds, quietSheds
+}
+
+// quietP99 is the empirical p99 over lats (0 when empty).
+func quietP99(lats []time.Duration) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return lats[len(lats)*99/100]
+}

@@ -85,6 +85,12 @@ var requiredMeasurements = []string{
 	"sched_skew_hedge_qps",
 	"sched_skew_rr_p99_x",
 	"sched_skew_hedge_p99_x",
+	"tenant_fairness_solo_p99_ms",
+	"tenant_fairness_fifo_p99_ms",
+	"tenant_fairness_fair_p99_ms",
+	"tenant_fairness_fifo_p99_x",
+	"tenant_fairness_fair_p99_x",
+	"tenant_fairness_heavy_sheds",
 }
 
 // Validate checks a report's schema sanity: id and go version present,
@@ -731,6 +737,9 @@ func Run(id string, dur time.Duration) Report {
 	skewRR := SchedulerSkewTail(core.SchedRoundRobin, false, true, dur)
 	skewJSQ := SchedulerSkewTail(core.SchedJSQ, false, true, dur)
 	skewHedge := SchedulerSkewTail(core.SchedJSQ, true, true, dur)
+	// Noisy neighbor: the quiet tenant's p99 alone, under FIFO sharing,
+	// and under weighted-DRR + SLO admission.
+	fair := TenantFairness(dur)
 	rep.Measurements = append(rep.Measurements,
 		Measurement{Name: "dispatch_pipeline_inflight1", Unit: "qps", Value: qps1},
 		Measurement{Name: "dispatch_pipeline_inflight4", Unit: "qps", Value: qps4},
@@ -793,6 +802,21 @@ func Run(id string, dur time.Duration) Report {
 		// gated: at smoke durations hedges can legitimately be zero).
 		Measurement{Name: "sched_skew_hedges_issued", Unit: "count", Value: float64(skewHedge.Stats.HedgesIssued)},
 		Measurement{Name: "sched_skew_hedges_won", Unit: "count", Value: float64(skewHedge.Stats.HedgesWon)},
+		// Multi-tenant QoS: the quiet tenant's p99 solo / FIFO-contended /
+		// fair-contended, plus ratios to solo. The headline: the FIFO _x
+		// ratio is unbounded (whatever backlog the heavy fleet builds),
+		// the fair _x ratio stays ≤ ~2. heavy_sheds > 0 shows the
+		// admission gate carrying its half of the bound; quiet_sheds
+		// should stay 0 (the protected tenant is never turned away).
+		Measurement{Name: "tenant_fairness_solo_p99_ms", Unit: "ms", Value: float64(fair.SoloP99) / 1e6},
+		Measurement{Name: "tenant_fairness_fifo_p99_ms", Unit: "ms", Value: float64(fair.FIFOP99) / 1e6},
+		Measurement{Name: "tenant_fairness_fair_p99_ms", Unit: "ms", Value: float64(fair.FairP99) / 1e6},
+		Measurement{Name: "tenant_fairness_fifo_p99_x", Unit: "x", Value: float64(fair.FIFOP99) / float64(fair.SoloP99)},
+		Measurement{Name: "tenant_fairness_fair_p99_x", Unit: "x", Value: float64(fair.FairP99) / float64(fair.SoloP99)},
+		Measurement{Name: "tenant_fairness_heavy_sheds", Unit: "count", Value: float64(fair.HeavySheds)},
+		Measurement{Name: "tenant_fairness_quiet_sheds", Unit: "count", Value: float64(fair.QuietSheds)},
+		Measurement{Name: "tenant_fairness_heavy_issued", Unit: "count", Value: float64(fair.HeavyIssued)},
+		Measurement{Name: "tenant_fairness_quiet_issued", Unit: "count", Value: float64(fair.QuietIssued)},
 	)
 	return rep
 }

@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# bench_pr8.sh — record the PR 8 performance trajectory.
+#
+# Runs the hot-path perf suite and writes the JSON report to
+# BENCH_PR8.json at the repo root. New in this report, alongside every
+# family carried forward from BENCH_PR7.json, is the tenant-fairness
+# family: the noisy-neighbor scenario (one Zipf-heavy closed-loop tenant
+# against one low-rate latency-sensitive tenant on a shared replica),
+# measured three ways —
+#
+#   - tenant_fairness_solo_p99_ms: the quiet tenant alone — its
+#     intrinsic tail latency.
+#   - tenant_fairness_fifo_p99_ms: both tenants on the strict-FIFO queue
+#     (QoS off): the quiet tenant inherits the heavy backlog
+#     (tenant_fairness_fifo_p99_x is its multiple of solo, expected well
+#     above 2x).
+#   - tenant_fairness_fair_p99_ms: both tenants with multi-tenant QoS on
+#     (weighted-DRR batching + SLO admission): the acceptance bound is
+#     tenant_fairness_fair_p99_x <= 2x solo while
+#     tenant_fairness_heavy_sheds is nonzero and the quiet tenant sheds
+#     nothing.
+#
+# tenant_fairness_quiet_sheds / *_issued record scenario accounting for
+# the fair run; they are not gated.
+#
+# The same scenario runs as an end-to-end test over real sockets in
+# internal/integration (TestNoisyNeighborQoS, -tags=integration).
+. "$(dirname "$0")/bench_lib.sh"
+run_perf BENCH_PR8.json -id pr8-qos -dur "${BENCH_PR8_DUR:-2s}"
+check_report BENCH_PR8.json
