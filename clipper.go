@@ -37,6 +37,7 @@ import (
 	"clipper/internal/container"
 	"clipper/internal/core"
 	"clipper/internal/frontend"
+	"clipper/internal/metrics"
 	"clipper/internal/selection"
 	"clipper/internal/statestore"
 )
@@ -80,6 +81,24 @@ type (
 	ShedPolicy = core.ShedPolicy
 	// AppStatus is one application's QoS/serving snapshot.
 	AppStatus = core.AppStatus
+	// MetricsRegistry is the node's Prometheus exposition registry
+	// (Clipper.Metrics): embedders may Register additional families; the
+	// REST server scrapes it at GET /metrics.
+	MetricsRegistry = metrics.Registry
+	// MetricsSeries is one exposed sample within a registered family.
+	MetricsSeries = metrics.Series
+	// MetricsLabel is one name="value" pair on a series.
+	MetricsLabel = metrics.Label
+	// MetricsKind is a Prometheus metric type (TYPE line).
+	MetricsKind = metrics.Kind
+)
+
+// Prometheus metric kinds for MetricsRegistry.Register.
+const (
+	MetricsCounter = metrics.KindCounter
+	MetricsGauge   = metrics.KindGauge
+	MetricsSummary = metrics.KindSummary
+	MetricsUntyped = metrics.KindUntyped
 )
 
 // Scheduler policies.

@@ -3,6 +3,7 @@ package clipper_test
 import (
 	"context"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -118,6 +119,39 @@ func TestPublicAPIStateStore(t *testing.T) {
 	v, ok, err := s.Get("k")
 	if err != nil || !ok || string(v) != "v" {
 		t.Fatalf("Get = %q %v %v", v, ok, err)
+	}
+}
+
+func TestPublicAPIMetricsRegistry(t *testing.T) {
+	cl := clipper.New(clipper.Config{})
+	defer cl.Close()
+	if _, err := cl.Deploy(parityModel{name: "parity"}, nil,
+		clipper.DefaultQueueConfig(20*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	// Embedders can add their own families next to the clipper_ ones.
+	err := cl.Metrics().Register("myapp_ticks_total", "embedder counter",
+		clipper.MetricsCounter, func(dst []clipper.MetricsSeries) []clipper.MetricsSeries {
+			return append(dst, clipper.MetricsSeries{
+				Labels: []clipper.MetricsLabel{{Name: "source", Value: "test"}},
+				Value:  3,
+			})
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := cl.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"myapp_ticks_total{source=\"test\"} 3",
+		"clipper_queue_queued{model=\"parity\"",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -181,6 +181,7 @@ func main() {
 	}
 	defer rest.Close()
 	log.Printf("Clipper serving app %q on http://%s (SLO %v)", "demo", bound, *slo)
+	log.Printf("Prometheus scrape endpoint: http://%s/metrics (human dump: /metrics?format=text)", bound)
 	fmt.Printf("try: curl -s http://%s/api/v1/apps\n", bound)
 
 	sig := make(chan os.Signal, 1)

@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	statestore -addr :6379
+//	statestore -addr :6379 -file /var/lib/clipper/state.log
+//
+// With -file the store is backed by an append-only log and survives
+// process restarts, including crashes mid-append (the torn tail is
+// truncated at the last complete record on reopen). Without it, state
+// lives in memory only.
 package main
 
 import (
@@ -20,9 +25,24 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":6379", "listen address")
+	file := flag.String("file", "", "append-only log path for durable state (empty = in-memory)")
 	flag.Parse()
 
-	srv := statestore.NewServer(statestore.NewMemStore())
+	var store statestore.Store = statestore.NewMemStore()
+	if *file != "" {
+		fs, err := statestore.OpenFileStore(*file)
+		if err != nil {
+			log.Fatalf("opening %s: %v", *file, err)
+		}
+		defer fs.Close()
+		if torn := fs.TornTail(); torn > 0 {
+			log.Printf("recovered %s: discarded %d-byte torn tail from an unclean shutdown", *file, torn)
+		}
+		log.Printf("durable state log %s (%d keys)", *file, fs.Len())
+		store = fs
+	}
+
+	srv := statestore.NewServer(store)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("listen %s: %v", *addr, err)

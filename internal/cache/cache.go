@@ -293,6 +293,34 @@ func (c *Cache) Stats() (hits, misses int64) {
 	return hits, misses
 }
 
+// ShardStat is one lock stripe's live telemetry, for the per-shard
+// Prometheus series: exact cumulative hits/misses (per-shard atomics) and
+// the stripe's current live-entry count.
+type ShardStat struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+// ShardStats snapshots every stripe in index order. Entry counts take
+// each shard's mutex briefly; hit/miss counters are lock-free reads —
+// cheap enough for scrape-time collection, never called on the hot path.
+func (c *Cache) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		entries := len(s.index)
+		s.mu.Unlock()
+		out[i] = ShardStat{
+			Hits:    s.hits.Load(),
+			Misses:  s.misses.Load(),
+			Entries: entries,
+		}
+	}
+	return out
+}
+
 // HitRate returns hits / (hits+misses), or 0 before any lookups.
 func (c *Cache) HitRate() float64 {
 	h, m := c.Stats()

@@ -185,6 +185,40 @@ func TestStatsAndHitRate(t *testing.T) {
 	}
 }
 
+func TestShardStats(t *testing.T) {
+	c := NewSharded(256, 4)
+	if c.Shards() != 4 {
+		t.Fatalf("shards = %d", c.Shards())
+	}
+	const n = 64
+	for i := 0; i < n; i++ {
+		c.Put(key(uint64(i)), pred(i))
+		c.Fetch(key(uint64(i)))     // hit
+		c.Fetch(key(uint64(i + n))) // miss
+	}
+	sts := c.ShardStats()
+	if len(sts) != 4 {
+		t.Fatalf("ShardStats len = %d", len(sts))
+	}
+	var hits, misses int64
+	entries := 0
+	for _, st := range sts {
+		hits += st.Hits
+		misses += st.Misses
+		entries += st.Entries
+	}
+	h, m := c.Stats()
+	if hits != h || misses != m {
+		t.Fatalf("per-shard sums (%d,%d) != aggregate (%d,%d)", hits, misses, h, m)
+	}
+	if entries != c.Len() {
+		t.Fatalf("per-shard entries %d != Len %d", entries, c.Len())
+	}
+	if hits != n || misses != n {
+		t.Fatalf("hits=%d misses=%d, want %d each", hits, misses, n)
+	}
+}
+
 func TestConcurrentSingleLeaderPerKey(t *testing.T) {
 	c := New(64)
 	const goroutines = 16

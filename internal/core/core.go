@@ -29,6 +29,7 @@ import (
 	"clipper/internal/batching"
 	"clipper/internal/cache"
 	"clipper/internal/container"
+	"clipper/internal/metrics"
 	"clipper/internal/statestore"
 )
 
@@ -56,6 +57,7 @@ type Clipper struct {
 	cache    *cache.Cache // nil when caching disabled
 	store    statestore.Store
 	schedCfg SchedulerConfig
+	prom     *metrics.Registry
 
 	mu     sync.Mutex
 	scheds map[string]*scheduler     // model name -> replica scheduler
@@ -78,14 +80,20 @@ func New(cfg Config) *Clipper {
 	if store == nil {
 		store = statestore.NewMemStore()
 	}
-	return &Clipper{
+	cl := &Clipper{
 		cache:    c,
 		store:    store,
 		schedCfg: cfg.Scheduler,
+		prom:     metrics.NewRegistry(),
 		scheds:   make(map[string]*scheduler),
 		infos:    make(map[string]container.Info),
 		apps:     make(map[string]*Application),
 	}
+	// Exposition wiring (prom.go): families registered once here; their
+	// collectors enumerate replicas/apps at scrape time, so later Deploy
+	// and RegisterApp calls surface with no per-deploy registration.
+	cl.registerCollectors()
+	return cl
 }
 
 // ErrClosed is returned by operations on a closed Clipper.

@@ -9,7 +9,8 @@
 //	GET  /api/v1/apps
 //	GET  /api/v1/models
 //	GET  /healthz
-//	GET  /metrics
+//	GET  /metrics              Prometheus text exposition (canonical)
+//	GET  /metrics?format=text  legacy human-readable dump
 package frontend
 
 import (
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"clipper/internal/core"
+	"clipper/internal/metrics"
 )
 
 // PredictRequest is the JSON body of POST /api/v1/predict.
@@ -67,11 +69,38 @@ type Server struct {
 	clipper *core.Clipper
 	httpSrv *http.Server
 	mux     *http.ServeMux
+
+	// Per-endpoint request counters, exposed as
+	// clipper_http_requests_total{path=...}. Atomic increments on the
+	// handler paths; read only at scrape time.
+	reqPredict  metrics.Counter
+	reqFeedback metrics.Counter
+	reqMetrics  metrics.Counter
 }
 
 // NewServer returns a REST server over cl.
 func NewServer(cl *core.Clipper) *Server {
 	s := &Server{clipper: cl, mux: http.NewServeMux()}
+	// A second Server over the same Clipper (rare, but legal) keeps the
+	// first server's HTTP counters: the family name is taken.
+	_ = cl.Metrics().Register("clipper_http_requests_total",
+		"REST API requests by endpoint.", metrics.KindCounter,
+		func(dst []metrics.Series) []metrics.Series {
+			for _, ep := range []struct {
+				path string
+				c    *metrics.Counter
+			}{
+				{"/api/v1/feedback", &s.reqFeedback},
+				{"/api/v1/predict", &s.reqPredict},
+				{"/metrics", &s.reqMetrics},
+			} {
+				dst = append(dst, metrics.Series{
+					Labels: []metrics.Label{{Name: "path", Value: ep.path}},
+					Value:  float64(ep.c.Value()),
+				})
+			}
+			return dst
+		})
 	s.mux.HandleFunc("/api/v1/predict", s.handlePredict)
 	s.mux.HandleFunc("/api/v1/feedback", s.handleFeedback)
 	s.mux.HandleFunc("/api/v1/apps", s.handleApps)
@@ -108,6 +137,7 @@ func (s *Server) Close() error {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.reqPredict.Inc()
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
@@ -148,6 +178,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	s.reqFeedback.Inc()
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
@@ -199,7 +230,26 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StatusResponse{OK: true})
 }
 
+// handleMetrics serves the node's telemetry. The canonical format is
+// Prometheus text exposition (version 0.0.4), rendered from the core
+// registry; ?format=text keeps the historical human-readable dump for
+// eyeballs and the curl habit.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.reqMetrics.Inc()
+	if r.URL.Query().Get("format") == "text" {
+		s.handleMetricsText(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.clipper.Metrics().WritePrometheus(w); err != nil {
+		// Invariant violations are caught before any byte is written, so
+		// this branch only fires on client-side write failures; the
+		// scrape is already lost either way.
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func (s *Server) handleMetricsText(w http.ResponseWriter) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	for _, name := range s.appNames() {
 		app, ok := s.clipper.App(name)

@@ -204,7 +204,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	s, _ := newTestServer(t)
 	h := s.Handler()
 	postJSON(t, h, "/api/v1/predict", PredictRequest{App: "demo", Input: []float64{1}})
-	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	req := httptest.NewRequest(http.MethodGet, "/metrics?format=text", nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
 	body := rec.Body.String()

@@ -2,6 +2,7 @@ package statestore
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -25,6 +26,7 @@ type FileStore struct {
 	path string
 	f    *os.File
 	w    *bufio.Writer
+	torn int64 // torn-tail bytes discarded at open
 }
 
 var _ Store = (*FileStore)(nil)
@@ -36,13 +38,36 @@ const (
 
 // OpenFileStore opens (or creates) a durable store backed by the log at
 // path, replaying any existing records.
+//
+// A crash mid-append leaves a torn tail: a prefix of the final record.
+// Replay recovers by applying every complete record and truncating the
+// log at the last record boundary, so the store reopens after a crash at
+// any byte offset — the record being appended when the writer died is the
+// only write lost, and it was never acknowledged. Actual corruption (an
+// op byte that is not a record opcode, a value length past the 64 MiB
+// bound) still fails hard: truncating there would silently discard state
+// that *was* acknowledged, which is the operator's call, not ours.
 func OpenFileStore(path string) (*FileStore, error) {
 	mem := NewMemStore()
+	var torn int64
 	if f, err := os.Open(path); err == nil {
-		err := replayLog(f, mem)
+		valid, tornTail, rerr := replayLog(f, mem)
 		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("statestore: replaying %s: %w", path, err)
+		if rerr != nil {
+			return nil, fmt.Errorf("statestore: replaying %s: %w", path, rerr)
+		}
+		if tornTail {
+			st, serr := os.Stat(path)
+			if serr != nil {
+				return nil, serr
+			}
+			torn = st.Size() - valid
+			// Durable-before-visible holds for recovery too: the tail
+			// must be gone before we append behind it, or a second crash
+			// could interleave new records with torn bytes.
+			if terr := os.Truncate(path, valid); terr != nil {
+				return nil, fmt.Errorf("statestore: truncating torn tail of %s: %w", path, terr)
+			}
 		}
 	} else if !os.IsNotExist(err) {
 		return nil, err
@@ -51,62 +76,83 @@ func OpenFileStore(path string) (*FileStore, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FileStore{mem: mem, path: path, f: f, w: bufio.NewWriter(f)}, nil
+	return &FileStore{mem: mem, path: path, f: f, w: bufio.NewWriter(f), torn: torn}, nil
 }
 
-func replayLog(r io.Reader, mem *MemStore) error {
+// maxValueLen bounds a Set record's value; longer lengths on replay mean
+// the log is corrupt, not torn (the writer enforces the same bound).
+const maxValueLen = 64 << 20
+
+// replayLog applies every complete record in r to mem. valid is the byte
+// offset just past the last complete record; torn reports a mid-record
+// EOF (a crash tail — recoverable by truncating to valid). Corrupt
+// records (bad opcode, oversize value) return a hard error.
+func replayLog(r io.Reader, mem *MemStore) (valid int64, torn bool, err error) {
 	br := bufio.NewReader(r)
+	var off int64
 	for {
 		op, err := br.ReadByte()
 		if err == io.EOF {
-			return nil
+			return off, false, nil // clean end at a record boundary
 		}
 		if err != nil {
-			return err
+			return off, false, err
 		}
 		var keyLen uint16
 		if err := binary.Read(br, binary.LittleEndian, &keyLen); err != nil {
-			return truncated(err)
+			return off, true, tornErr(err)
 		}
 		key := make([]byte, keyLen)
 		if _, err := io.ReadFull(br, key); err != nil {
-			return truncated(err)
+			return off, true, tornErr(err)
 		}
+		recLen := int64(1 + 2 + int64(keyLen))
 		switch op {
 		case opSet:
 			var valLen uint32
 			if err := binary.Read(br, binary.LittleEndian, &valLen); err != nil {
-				return truncated(err)
+				return off, true, tornErr(err)
 			}
-			if valLen > 64<<20 {
-				return fmt.Errorf("statestore: corrupt record (value %d bytes)", valLen)
+			if valLen > maxValueLen {
+				return off, false, fmt.Errorf("statestore: corrupt record (value %d bytes)", valLen)
 			}
-			val := make([]byte, valLen)
-			if _, err := io.ReadFull(br, val); err != nil {
-				return truncated(err)
+			// CopyN grows the buffer as bytes actually arrive, so a
+			// lying length header on a short file can't force a huge
+			// up-front allocation.
+			var val bytes.Buffer
+			if _, err := io.CopyN(&val, br, int64(valLen)); err != nil {
+				return off, true, tornErr(err)
 			}
-			mem.Set(string(key), val)
+			mem.Set(string(key), val.Bytes())
+			recLen += 4 + int64(valLen)
 		case opDel:
 			mem.Delete(string(key))
 		default:
-			return fmt.Errorf("statestore: corrupt record (op %q)", op)
+			return off, false, fmt.Errorf("statestore: corrupt record (op %q)", op)
 		}
+		off += recLen
 	}
 }
 
-// truncated maps unexpected EOFs mid-record to a clear error. A cleanly
-// truncated tail (e.g. crash mid-append) is reported rather than silently
-// accepted; recovery policy is the operator's call.
-func truncated(err error) error {
+// tornErr maps mid-record EOFs to nil (recoverable tear, reported via the
+// torn flag); any other read error is real.
+func tornErr(err error) error {
 	if err == io.EOF || err == io.ErrUnexpectedEOF {
-		return fmt.Errorf("statestore: log truncated mid-record")
+		return nil
 	}
 	return err
 }
 
+// TornTail reports the number of torn-tail bytes discarded when the
+// store was opened (0 after a clean shutdown).
+func (s *FileStore) TornTail() int64 { return s.torn }
+
 func (s *FileStore) appendRecord(op byte, key string, val []byte) error {
 	if len(key) > 1<<16-1 {
 		return fmt.Errorf("statestore: key too long (%d bytes)", len(key))
+	}
+	if len(val) > maxValueLen {
+		return fmt.Errorf("statestore: value too long (%d bytes)", len(val))
 	}
 	s.w.WriteByte(op)
 	binary.Write(s.w, binary.LittleEndian, uint16(len(key)))

@@ -1,0 +1,173 @@
+#!/usr/bin/env sh
+# check_prom.sh — Prometheus exposition gate. Deploys a real serving
+# node (remote model container over RPC + demo models + QoS + adaptive
+# pipeline sizing), drives a few predictions through the REST API, then
+# scrapes GET /metrics and validates the exposition text:
+#
+#   * every series line parses (metric-name and label-name grammar,
+#     quoted/escaped label values, finite or Inf/NaN sample values)
+#   * every series is preceded by the # HELP and # TYPE of its family
+#     (summary _sum/_count children resolve to the parent family)
+#   * no duplicate series (same name + label set twice)
+#   * the families each subsystem is expected to export are present
+#
+# No dependencies beyond POSIX sh + awk + curl-or-wget and the go
+# toolchain. Usage: scripts/check_prom.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+MC_PID=""
+CL_PID=""
+cleanup() {
+  [ -n "$CL_PID" ] && kill "$CL_PID" 2>/dev/null || true
+  [ -n "$MC_PID" ] && kill "$MC_PID" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+fetch() { # fetch URL OUTFILE — curl preferred, wget fallback
+  if command -v curl >/dev/null 2>&1; then
+    curl -fsS -D "$workdir/headers" -o "$2" "$1"
+  else
+    wget -q -S -O "$2" "$1" 2>"$workdir/headers"
+  fi
+}
+
+post() { # post URL BODY OUTFILE
+  if command -v curl >/dev/null 2>&1; then
+    curl -fsS -X POST -d "$2" -o "$3" "$1"
+  else
+    wget -q -O "$3" --post-data="$2" "$1"
+  fi
+}
+
+wait_for_line() { # wait_for_line LOGFILE SED_EXPR — prints first match
+  i=0
+  while :; do
+    addr=$(sed -n "$2" "$1" | head -n 1)
+    if [ -n "$addr" ]; then
+      echo "$addr"
+      return 0
+    fi
+    i=$((i + 1))
+    if [ "$i" -gt 150 ]; then
+      echo "timed out waiting for $1" >&2
+      cat "$1" >&2
+      return 1
+    fi
+    sleep 0.2
+  done
+}
+
+echo "check_prom: building cmd/clipper and cmd/modelcontainer"
+go build -o "$workdir/modelcontainer" ./cmd/modelcontainer
+go build -o "$workdir/clipper" ./cmd/clipper
+
+# A remote container so the RPC pool families light up; small synthetic
+# dataset so training is fast. Seeds/dims must match the serving node.
+"$workdir/modelcontainer" -addr 127.0.0.1:0 -train 300 -dim 16 -classes 4 \
+  -seed 42 >"$workdir/mc.log" 2>&1 &
+MC_PID=$!
+mc_addr=$(wait_for_line "$workdir/mc.log" 's/.*serving on \([0-9.]*:[0-9]*\).*/\1/p')
+echo "check_prom: model container on $mc_addr"
+
+# -qos + -adaptive + -container-conns 2 light the admission, adaptive
+# window, and pool telemetry series on top of the always-on families.
+"$workdir/clipper" -addr 127.0.0.1:0 -train 300 -dim 16 -classes 4 \
+  -slo 50ms -containers "$mc_addr" -container-conns 2 -adaptive \
+  -qos -shed-policy degrade >"$workdir/cl.log" 2>&1 &
+CL_PID=$!
+cl_addr=$(wait_for_line "$workdir/cl.log" 's/.*serving app .* on http:\/\/\([0-9.:]*\) .*/\1/p')
+echo "check_prom: serving node on $cl_addr"
+
+input=$(awk 'BEGIN { s = ""; for (i = 0; i < 16; i++) s = s (i ? "," : "") "0.5"; print s }')
+for _ in 1 2 3 4 5; do
+  post "http://$cl_addr/api/v1/predict" "{\"app\":\"demo\",\"input\":[$input]}" \
+    "$workdir/predict.json"
+done
+grep -q '"label"' "$workdir/predict.json" || {
+  echo "FAIL: predict response carries no label:" >&2
+  cat "$workdir/predict.json" >&2
+  exit 1
+}
+
+fetch "http://$cl_addr/metrics" "$workdir/metrics.txt"
+grep -qi 'text/plain; version=0.0.4' "$workdir/headers" || {
+  echo "FAIL: /metrics content type is not the 0.0.4 exposition format:" >&2
+  grep -i 'content-type' "$workdir/headers" >&2 || true
+  exit 1
+}
+
+# The old human-readable dump must still answer at ?format=text.
+fetch "http://$cl_addr/metrics?format=text" "$workdir/metrics_human.txt"
+[ -s "$workdir/metrics_human.txt" ] || {
+  echo "FAIL: /metrics?format=text returned an empty body" >&2
+  exit 1
+}
+
+echo "check_prom: validating exposition grammar"
+awk '
+/^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* / { help[$3] = 1; next }
+/^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary|histogram|untyped)$/ {
+  if ($3 in type) { print "NR" NR ": duplicate TYPE for " $3; bad = 1 }
+  type[$3] = $4
+  next
+}
+/^#/ { print "NR" NR ": malformed comment line: " $0; bad = 1; next }
+/^$/ { next }
+{
+  if (!match($0, /^[a-zA-Z_:][a-zA-Z0-9_:]*/)) {
+    print "NR" NR ": illegal metric name: " $0; bad = 1; next
+  }
+  name = substr($0, 1, RLENGTH)
+  rest = substr($0, RLENGTH + 1)
+  if (!match($0, /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="([^"\\]|\\.)*"(,[a-zA-Z_][a-zA-Z0-9_]*="([^"\\]|\\.)*")*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]Inf|NaN)$/)) {
+    print "NR" NR ": unparseable series line: " $0; bad = 1; next
+  }
+  fam = name
+  if (!(fam in type)) sub(/_(sum|count|bucket)$/, "", fam)
+  if (!(fam in type)) { print "NR" NR ": series without # TYPE: " $0; bad = 1 }
+  if (!(fam in help)) { print "NR" NR ": series without # HELP: " $0; bad = 1 }
+  id = $0; sub(/ [^ ]*$/, "", id)
+  if (id in seen) { print "NR" NR ": duplicate series: " id; bad = 1 }
+  seen[id] = 1
+  series++
+}
+END {
+  if (series == 0) { print "no series in scrape"; bad = 1 }
+  if (bad) exit 1
+  print "check_prom: " series " series parse clean"
+}
+' "$workdir/metrics.txt"
+
+echo "check_prom: checking required families"
+status=0
+for fam in \
+  clipper_cache_hits_total clipper_cache_misses_total clipper_cache_entries \
+  clipper_cache_shard_hits_total \
+  clipper_queue_queued clipper_queue_in_flight_queries \
+  clipper_queue_completed_queries_total \
+  clipper_replica_healthy clipper_replica_service_ewma_seconds \
+  clipper_batch_size_count clipper_batch_latency_seconds_count \
+  clipper_adaptive_window clipper_adaptive_pool_target \
+  clipper_pool_conns clipper_pool_live_conns clipper_pool_writes_total \
+  clipper_sched_replicas clipper_sched_submitted_total \
+  clipper_app_predictions_total clipper_app_qos clipper_app_slo_seconds \
+  clipper_tenant_served_total \
+  clipper_http_requests_total; do
+  grep -q "^$fam" "$workdir/metrics.txt" || {
+    echo "FAIL: family $fam missing from live scrape" >&2
+    status=1
+  }
+done
+[ "$status" -eq 0 ] || exit 1
+
+# The predictions we sent must be visible in the counters.
+grep -q 'clipper_app_predictions_total{app="demo"} [1-9]' "$workdir/metrics.txt" || {
+  echo "FAIL: predictions not reflected in clipper_app_predictions_total" >&2
+  grep 'clipper_app_predictions_total' "$workdir/metrics.txt" >&2 || true
+  exit 1
+}
+
+echo "check_prom: OK"
