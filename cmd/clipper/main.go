@@ -1,19 +1,25 @@
 // Command clipper starts a Clipper serving node with a demonstration
 // deployment: several models trained on a synthetic object-recognition
-// task, an Exp4 ensemble application, and the REST API.
+// task, an Exp4 ensemble application, and the protocol adapters.
 //
 // Usage:
 //
 //	clipper -addr :8080 -slo 20ms
+//	clipper -addr :8080 -listen-binrpc :7000 -listen-stream :7001
 //
 // Then:
 //
 //	curl -s localhost:8080/api/v1/apps
 //	curl -s -X POST localhost:8080/api/v1/predict \
 //	    -d '{"app":"demo","input":[0.1, ... 64 floats ...]}'
+//	loadgen -proto binrpc -target localhost:7000 -rate 500
+//
+// All listeners serve the same gateway core: an app registered over one
+// protocol is immediately served on the others.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,14 +30,21 @@ import (
 	"time"
 
 	"clipper"
+	"clipper/internal/adapter/binrpc"
+	"clipper/internal/adapter/httpjson"
+	"clipper/internal/adapter/stream"
 	"clipper/internal/dataset"
 	"clipper/internal/frameworks"
+	"clipper/internal/gateway"
 	"clipper/internal/models"
 )
 
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "REST API listen address")
+		httpAddr    = flag.String("listen-http", "", "REST API listen address (overrides -addr when set)")
+		binrpcAddr  = flag.String("listen-binrpc", "", "binary-RPC adapter listen address (empty disables)")
+		streamAddr  = flag.String("listen-stream", "", "streaming adapter listen address (empty disables)")
 		slo         = flag.Duration("slo", 20*time.Millisecond, "prediction latency SLO")
 		trainN      = flag.Int("train", 2000, "synthetic training examples")
 		dim         = flag.Int("dim", 64, "feature dimensionality")
@@ -174,18 +187,52 @@ func main() {
 		defer mon.Stop()
 	}
 
-	rest := clipper.NewRESTServer(cl)
-	bound, err := rest.Listen(*addr)
+	// One gateway core, up to three protocol adapters over it.
+	gw := gateway.New(cl)
+	rest := httpjson.New(gw)
+	listen := *addr
+	if *httpAddr != "" {
+		listen = *httpAddr
+	}
+	bound, err := rest.Listen(listen)
 	if err != nil {
-		log.Fatalf("listen %s: %v", *addr, err)
+		log.Fatalf("listen %s: %v", listen, err)
 	}
 	defer rest.Close()
 	log.Printf("Clipper serving app %q on http://%s (SLO %v)", "demo", bound, *slo)
 	log.Printf("Prometheus scrape endpoint: http://%s/metrics (human dump: /metrics?format=text)", bound)
 	fmt.Printf("try: curl -s http://%s/api/v1/apps\n", bound)
 
+	type gracefulServer interface {
+		Shutdown(context.Context) error
+	}
+	adapters := []gracefulServer{rest}
+	if *binrpcAddr != "" {
+		srv := binrpc.New(gw)
+		b, err := srv.Listen(*binrpcAddr)
+		if err != nil {
+			log.Fatalf("listen binrpc %s: %v", *binrpcAddr, err)
+		}
+		adapters = append(adapters, srv)
+		log.Printf("binrpc adapter on %s", b)
+	}
+	if *streamAddr != "" {
+		srv := stream.New(gw)
+		b, err := srv.Listen(*streamAddr)
+		if err != nil {
+			log.Fatalf("listen stream %s: %v", *streamAddr, err)
+		}
+		adapters = append(adapters, srv)
+		log.Printf("stream adapter on %s", b)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	log.Print("shutting down")
+	log.Print("shutting down (draining in-flight requests)")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, srv := range adapters {
+		srv.Shutdown(ctx)
+	}
 }

@@ -1,14 +1,19 @@
-// Command loadgen drives a Clipper REST endpoint with a prediction
-// workload and reports throughput and latency, like the serving drivers in
-// the paper's evaluation.
+// Command loadgen drives a Clipper node with a prediction workload over
+// any protocol adapter and reports throughput and latency, like the
+// serving drivers in the paper's evaluation.
 //
 // Usage:
 //
-//	loadgen -target http://localhost:8080 -app demo -dim 64 -rate 500 -duration 10s
-//	loadgen -target http://localhost:8080 -app demo -dim 64 -workers 32 -duration 10s
+//	loadgen -target http://localhost:8080 -app demo -rate 500 -duration 10s
+//	loadgen -proto binrpc -target localhost:7000 -rate 500 -process diurnal
+//	loadgen -proto stream -target localhost:7001 -rate 2000 -process flash
+//	loadgen -target http://localhost:8080 -workers 32 -duration 10s
 //
-// With -rate the arrivals are open-loop Poisson; with -workers (and rate 0)
-// the load is a closed loop of that many clients.
+// With -rate the arrivals are open-loop (Poisson by default; -process
+// selects diurnal or flash-crowd modulation) over a Zipf-popular user
+// population, so offered load is fixed regardless of server speed and
+// hot users re-query their own inputs (cache locality). With -workers
+// (and rate 0) the load is a closed loop of that many clients.
 package main
 
 import (
@@ -20,19 +25,25 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"sync/atomic"
 	"time"
 
-	"clipper/internal/frontend"
-	"clipper/internal/metrics"
+	"clipper/internal/adapter/binrpc"
+	"clipper/internal/adapter/stream"
+	"clipper/internal/gateway"
 	"clipper/internal/workload"
 )
 
 func main() {
 	var (
-		target   = flag.String("target", "http://localhost:8080", "Clipper REST base URL")
+		target   = flag.String("target", "http://localhost:8080", "Clipper endpoint: base URL for http, host:port for binrpc/stream")
+		proto    = flag.String("proto", "http", "protocol adapter: http, binrpc, or stream")
 		app      = flag.String("app", "demo", "application name")
 		dim      = flag.Int("dim", 64, "feature dimensionality")
 		rate     = flag.Float64("rate", 0, "open-loop arrival rate (qps); 0 = closed loop")
+		process  = flag.String("process", "poisson", "open-loop arrival process: poisson, diurnal, or flash")
+		users    = flag.Int("users", 1000, "user population (Zipf-popular, one input vector each)")
+		zipfS    = flag.Float64("zipf", 1.2, "user popularity skew exponent")
 		workers  = flag.Int("workers", 16, "closed-loop worker count")
 		duration = flag.Duration("duration", 10*time.Second, "load duration")
 		feedback = flag.Float64("feedback", 0, "fraction of queries followed by feedback")
@@ -40,61 +51,113 @@ func main() {
 	)
 	flag.Parse()
 
+	// One deterministic input vector per user: a user's repeat queries are
+	// byte-identical, so Zipf-popular users exercise the prediction cache
+	// the way real per-user content queries do.
 	rng := rand.New(rand.NewSource(*seed))
-	pool := make([][]float64, 256)
-	for i := range pool {
+	inputs := make([][]float64, *users)
+	for i := range inputs {
 		x := make([]float64, *dim)
 		for j := range x {
 			x[j] = rng.NormFloat64()
 		}
-		pool[i] = x
+		inputs[i] = x
 	}
 
-	client := &http.Client{Timeout: 10 * time.Second}
-	lat := metrics.NewHistogram()
-	errors := &metrics.Counter{}
-	meter := metrics.NewMeter()
+	c, err := dialCaller(*proto, *target)
+	if err != nil {
+		log.Fatalf("dialing %s target %s: %v", *proto, *target, err)
+	}
+	defer c.close()
 
-	issue := func(workerSeed int) {
-		x := pool[rand.Intn(len(pool))]
-		start := time.Now()
-		label, err := postPredict(client, *target, *app, x)
+	call := func(user int) error {
+		x := inputs[user%len(inputs)]
+		label, err := c.predict(*app, x)
 		if err != nil {
-			errors.Inc()
-			return
+			return err
 		}
-		lat.ObserveDuration(time.Since(start))
-		meter.Mark(1)
 		if *feedback > 0 && rand.Float64() < *feedback {
-			postFeedback(client, *target, *app, x, label)
+			c.feedback(*app, x, label)
 		}
-		_ = workerSeed
+		return nil
 	}
 
-	log.Printf("driving %s app=%q for %v", *target, *app, *duration)
-	start := time.Now()
+	log.Printf("driving %s (%s) app=%q process=%s for %v", *target, *proto, *app, *process, *duration)
 	if *rate > 0 {
-		workload.RunOpenLoop(context.Background(), *rate, *duration, *seed, func() { issue(0) })
-	} else {
-		ctx, cancel := context.WithTimeout(context.Background(), *duration)
-		defer cancel()
-		workload.RunClosedLoop(ctx, *workers, 0, issue)
+		res := workload.MeasureOpenLoop(context.Background(), workload.OpenLoopConfig{
+			Process:  *process,
+			Rate:     *rate,
+			Duration: *duration,
+			Seed:     *seed,
+			Users:    *users,
+			ZipfS:    *zipfS,
+		}, call)
+		fmt.Printf("issued=%d completed=%d errors=%d offered=%.1fqps served=%.1fqps\n",
+			res.Issued, res.Completed, res.Errors, res.OfferedQPS, res.QPS)
+		fmt.Printf("latency p50=%.2fms p95=%.2fms p99=%.2fms p999=%.2fms\n",
+			ms(res.P50), ms(res.P95), ms(res.P99), ms(res.P999))
+		return
 	}
-	elapsed := time.Since(start)
 
-	snap := lat.Snapshot()
+	// Closed loop: workers issue back-to-back, users drawn Zipf per query.
+	userZipf := workload.NewZipf(*users, *zipfS, *seed)
+	var completed, errors atomic.Int64
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	workload.RunClosedLoop(ctx, *workers, 0, func(int) {
+		if err := call(userZipf.Rank()); err != nil {
+			errors.Add(1)
+		} else {
+			completed.Add(1)
+		}
+	})
+	elapsed := time.Since(start)
 	fmt.Printf("completed=%d errors=%d throughput=%.1f qps\n",
-		snap.Count, errors.Value(), float64(snap.Count)/elapsed.Seconds())
-	fmt.Printf("latency mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
-		snap.Mean*1e3, snap.P50*1e3, snap.P95*1e3, snap.P99*1e3, snap.Max*1e3)
+		completed.Load(), errors.Load(), float64(completed.Load())/elapsed.Seconds())
 }
 
-func postPredict(client *http.Client, base, app string, x []float64) (int, error) {
-	body, err := json.Marshal(frontend.PredictRequest{App: app, Input: x})
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// caller abstracts one protocol adapter's predict/feedback calls.
+type caller interface {
+	predict(app string, x []float64) (int, error)
+	feedback(app string, x []float64, label int)
+	close()
+}
+
+func dialCaller(proto, target string) (caller, error) {
+	switch proto {
+	case "http":
+		return &httpCaller{client: &http.Client{Timeout: 10 * time.Second}, base: target}, nil
+	case "binrpc":
+		c, err := binrpc.Dial(target, 5*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		return &binrpcCaller{c: c}, nil
+	case "stream":
+		c, err := stream.Dial(target, 5*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		return &streamCaller{c: c}, nil
+	default:
+		return nil, fmt.Errorf("unknown proto %q (want http, binrpc, or stream)", proto)
+	}
+}
+
+type httpCaller struct {
+	client *http.Client
+	base   string
+}
+
+func (h *httpCaller) predict(app string, x []float64) (int, error) {
+	body, err := json.Marshal(gateway.PredictRequest{App: app, Input: x})
 	if err != nil {
 		return 0, err
 	}
-	resp, err := client.Post(base+"/api/v1/predict", "application/json", bytes.NewReader(body))
+	resp, err := h.client.Post(h.base+"/api/v1/predict", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return 0, err
 	}
@@ -102,21 +165,51 @@ func postPredict(client *http.Client, base, app string, x []float64) (int, error
 	if resp.StatusCode != http.StatusOK {
 		return 0, fmt.Errorf("status %d", resp.StatusCode)
 	}
-	var pr frontend.PredictResponse
+	var pr struct {
+		Label int `json:"label"`
+	}
 	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
 		return 0, err
 	}
 	return pr.Label, nil
 }
 
-func postFeedback(client *http.Client, base, app string, x []float64, label int) {
-	body, err := json.Marshal(frontend.FeedbackRequest{App: app, Input: x, Label: label})
+func (h *httpCaller) feedback(app string, x []float64, label int) {
+	body, err := json.Marshal(gateway.FeedbackRequest{App: app, Input: x, Label: label})
 	if err != nil {
 		return
 	}
-	resp, err := client.Post(base+"/api/v1/feedback", "application/json", bytes.NewReader(body))
+	resp, err := h.client.Post(h.base+"/api/v1/feedback", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return
 	}
 	resp.Body.Close()
 }
+
+func (h *httpCaller) close() {}
+
+type binrpcCaller struct{ c *binrpc.Client }
+
+func (b *binrpcCaller) predict(app string, x []float64) (int, error) {
+	res, err := b.c.Predict(context.Background(), app, "", x)
+	return res.Label, err
+}
+
+func (b *binrpcCaller) feedback(app string, x []float64, label int) {
+	b.c.Feedback(context.Background(), app, "", label, x)
+}
+
+func (b *binrpcCaller) close() { b.c.Close() }
+
+type streamCaller struct{ c *stream.Conn }
+
+func (s *streamCaller) predict(app string, x []float64) (int, error) {
+	res, err := s.c.Predict(context.Background(), app, "", x)
+	return res.Label, err
+}
+
+func (s *streamCaller) feedback(app string, x []float64, label int) {
+	s.c.Feedback(context.Background(), app, "", label, x)
+}
+
+func (s *streamCaller) close() { s.c.Close() }

@@ -1,0 +1,155 @@
+package binrpc
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"clipper/internal/adapter"
+	"clipper/internal/gateway"
+	"clipper/internal/rpc"
+)
+
+// Request encode buffers are pooled: rpc.Client.Call writes the frame
+// synchronously in the calling goroutine before blocking on the
+// response, so the buffer is free for reuse the moment Call returns.
+var reqPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+// Client speaks the binrpc wire to one server over a single multiplexed
+// connection. Safe for concurrent use; concurrent calls pipeline.
+type Client struct {
+	rc *rpc.Client
+}
+
+// Dial connects to a binrpc server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	rc, err := rpc.Dial(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{rc: rc}, nil
+}
+
+// Close tears the connection down, failing any in-flight calls.
+func (c *Client) Close() error { return c.rc.Close() }
+
+// Predict runs one prediction. Gateway failures come back as
+// *gateway.Error carrying the wire status code.
+func (c *Client) Predict(ctx context.Context, app, cctx string, input []float64) (gateway.PredictResult, error) {
+	bp := reqPool.Get().(*[]byte)
+	buf, err := adapter.AppendPredictRequest((*bp)[:0], app, cctx, input)
+	*bp = buf[:0]
+	if err != nil {
+		reqPool.Put(bp)
+		return gateway.PredictResult{}, err
+	}
+	p, err := c.rc.Call(ctx, adapter.MethodGWPredict, buf)
+	reqPool.Put(bp)
+	if err != nil {
+		return gateway.PredictResult{}, err
+	}
+	res, err := adapter.DecodePredictResult(p.Data)
+	p.Release()
+	return res, err
+}
+
+// Feedback reports ground truth for app.
+func (c *Client) Feedback(ctx context.Context, app, cctx string, label int, input []float64) error {
+	bp := reqPool.Get().(*[]byte)
+	buf, err := adapter.AppendFeedbackRequest((*bp)[:0], app, cctx, int64(label), input)
+	*bp = buf[:0]
+	if err != nil {
+		reqPool.Put(bp)
+		return err
+	}
+	p, err := c.rc.Call(ctx, adapter.MethodGWFeedback, buf)
+	reqPool.Put(bp)
+	if err != nil {
+		return err
+	}
+	_, err = adapter.DecodeStatus(p.Data)
+	p.Release()
+	return err
+}
+
+// callJSON runs a payload-less (or pre-encoded) cold op and returns a
+// copy of its body.
+func (c *Client) callJSON(ctx context.Context, method rpc.Method, payload []byte) ([]byte, error) {
+	p, err := c.rc.Call(ctx, method, payload)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Release()
+	body, err := adapter.DecodeStatus(p.Data)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), body...), nil
+}
+
+// AppList returns the registered applications.
+func (c *Client) AppList(ctx context.Context) ([]gateway.AppInfo, error) {
+	body, err := c.callJSON(ctx, adapter.MethodGWAppList, nil)
+	if err != nil {
+		return nil, err
+	}
+	var apps []gateway.AppInfo
+	if err := json.Unmarshal(body, &apps); err != nil {
+		return nil, err
+	}
+	return apps, nil
+}
+
+// ModelList returns the deployed model names, sorted.
+func (c *Client) ModelList(ctx context.Context) ([]string, error) {
+	body, err := c.callJSON(ctx, adapter.MethodGWModelList, nil)
+	if err != nil {
+		return nil, err
+	}
+	var models []string
+	if err := json.Unmarshal(body, &models); err != nil {
+		return nil, err
+	}
+	return models, nil
+}
+
+// Health checks node liveness.
+func (c *Client) Health(ctx context.Context) error {
+	p, err := c.rc.Call(ctx, adapter.MethodGWHealth, nil)
+	if err != nil {
+		return err
+	}
+	_, err = adapter.DecodeStatus(p.Data)
+	p.Release()
+	return err
+}
+
+// Metrics fetches the Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	body, err := c.callJSON(ctx, adapter.MethodGWMetrics, nil)
+	if err != nil {
+		return "", err
+	}
+	return string(body), nil
+}
+
+// RegisterApp registers an application at runtime.
+func (c *Client) RegisterApp(ctx context.Context, req gateway.RegisterAppRequest) error {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	p, err := c.rc.Call(ctx, adapter.MethodGWRegisterApp, payload)
+	if err != nil {
+		return err
+	}
+	_, err = adapter.DecodeStatus(p.Data)
+	p.Release()
+	return err
+}

@@ -1,4 +1,4 @@
-package frontend
+package httpjson
 
 import (
 	"encoding/json"
@@ -6,6 +6,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"clipper/internal/gateway"
 )
 
 func TestRegisterAppEndpoint(t *testing.T) {
@@ -27,13 +29,13 @@ func TestRegisterAppEndpoint(t *testing.T) {
 
 func TestRegisterAppPolicies(t *testing.T) {
 	for _, policy := range []string{"", "exp3", "exp4", "ucb1", "thompson", "epsilon-greedy", "static:1"} {
-		p, err := parsePolicy(policy)
+		p, err := gateway.ParsePolicy(policy)
 		if err != nil || p == nil {
 			t.Fatalf("policy %q: %v", policy, err)
 		}
 	}
 	for _, bad := range []string{"nope", "static:x"} {
-		if _, err := parsePolicy(bad); err == nil {
+		if _, err := gateway.ParsePolicy(bad); err == nil {
 			t.Fatalf("policy %q accepted", bad)
 		}
 	}

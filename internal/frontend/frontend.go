@@ -1,292 +1,42 @@
-// Package frontend exposes Clipper's application-facing REST API (paper
-// §3): JSON prediction and feedback endpoints over net/http, plus
-// admin/introspection endpoints.
-//
-// Endpoints:
-//
-//	POST /api/v1/predict   {"app","context","input":[...]}
-//	POST /api/v1/feedback  {"app","context","input":[...],"label"}
-//	GET  /api/v1/apps
-//	GET  /api/v1/models
-//	GET  /healthz
-//	GET  /metrics              Prometheus text exposition (canonical)
-//	GET  /metrics?format=text  legacy human-readable dump
+// Package frontend is a compatibility shim over the httpjson protocol
+// adapter. The REST implementation that used to live here was split in
+// two: transport-agnostic operation logic moved to internal/gateway
+// (shared with the binrpc and stream adapters), and the HTTP shell moved
+// to internal/adapter/httpjson. The aliases below keep existing imports
+// compiling; new code should import the adapter packages directly.
 package frontend
 
 import (
-	"encoding/json"
-	"errors"
-	"fmt"
-	"net"
-	"net/http"
-	"sort"
-	"time"
-
+	"clipper/internal/adapter/httpjson"
 	"clipper/internal/core"
-	"clipper/internal/metrics"
 )
 
-// PredictRequest is the JSON body of POST /api/v1/predict.
-type PredictRequest struct {
-	// App names the registered application.
-	App string `json:"app"`
-	// Context optionally names the selection context (user/session).
-	Context string `json:"context,omitempty"`
-	// Input is the dense feature vector.
-	Input []float64 `json:"input"`
-}
-
-// PredictResponse is the JSON reply to a prediction.
-type PredictResponse struct {
-	Label       int     `json:"label"`
-	Confidence  float64 `json:"confidence"`
-	UsedDefault bool    `json:"used_default"`
-	Missing     int     `json:"missing"`
-	Degraded    bool    `json:"degraded,omitempty"`
-	LatencyUS   int64   `json:"latency_us"`
-}
-
-// FeedbackRequest is the JSON body of POST /api/v1/feedback.
-type FeedbackRequest struct {
-	App     string    `json:"app"`
-	Context string    `json:"context,omitempty"`
-	Input   []float64 `json:"input"`
-	Label   int       `json:"label"`
-}
-
-// StatusResponse is the JSON reply to feedback and admin mutations.
-type StatusResponse struct {
-	OK bool `json:"ok"`
-}
-
-// errorResponse is the JSON error envelope.
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-// Server serves the REST API for one Clipper instance.
-type Server struct {
-	clipper *core.Clipper
-	httpSrv *http.Server
-	mux     *http.ServeMux
-
-	// Per-endpoint request counters, exposed as
-	// clipper_http_requests_total{path=...}. Atomic increments on the
-	// handler paths; read only at scrape time.
-	reqPredict  metrics.Counter
-	reqFeedback metrics.Counter
-	reqMetrics  metrics.Counter
-}
+// Server is the REST server, now internal/adapter/httpjson.Server.
+type Server = httpjson.Server
 
 // NewServer returns a REST server over cl.
-func NewServer(cl *core.Clipper) *Server {
-	s := &Server{clipper: cl, mux: http.NewServeMux()}
-	// A second Server over the same Clipper (rare, but legal) keeps the
-	// first server's HTTP counters: the family name is taken.
-	_ = cl.Metrics().Register("clipper_http_requests_total",
-		"REST API requests by endpoint.", metrics.KindCounter,
-		func(dst []metrics.Series) []metrics.Series {
-			for _, ep := range []struct {
-				path string
-				c    *metrics.Counter
-			}{
-				{"/api/v1/feedback", &s.reqFeedback},
-				{"/api/v1/predict", &s.reqPredict},
-				{"/metrics", &s.reqMetrics},
-			} {
-				dst = append(dst, metrics.Series{
-					Labels: []metrics.Label{{Name: "path", Value: ep.path}},
-					Value:  float64(ep.c.Value()),
-				})
-			}
-			return dst
-		})
-	s.mux.HandleFunc("/api/v1/predict", s.handlePredict)
-	s.mux.HandleFunc("/api/v1/feedback", s.handleFeedback)
-	s.mux.HandleFunc("/api/v1/apps", s.handleApps)
-	s.mux.HandleFunc("/api/v1/models", s.handleModels)
-	s.mux.HandleFunc("/healthz", s.handleHealth)
-	s.registerAdmin()
-	s.registerAppRoutes()
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	return s
-}
+func NewServer(cl *core.Clipper) *Server { return httpjson.NewServer(cl) }
 
-// Handler returns the server's HTTP handler (useful for tests with
-// httptest).
-func (s *Server) Handler() http.Handler { return s.mux }
-
-// Listen starts serving on addr (":0" picks a port) and returns the bound
-// address.
-func (s *Server) Listen(addr string) (string, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", err
-	}
-	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
-	go s.httpSrv.Serve(ln)
-	return ln.Addr().String(), nil
-}
-
-// Close stops the HTTP server.
-func (s *Server) Close() error {
-	if s.httpSrv == nil {
-		return nil
-	}
-	return s.httpSrv.Close()
-}
-
-func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	s.reqPredict.Inc()
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
-	var req PredictRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
-		return
-	}
-	if len(req.Input) == 0 {
-		writeError(w, http.StatusBadRequest, "empty input")
-		return
-	}
-	app, ok := s.clipper.App(req.App)
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown app %q", req.App))
-		return
-	}
-	resp, err := app.PredictContext(r.Context(), req.Context, req.Input)
-	if err != nil {
-		if errors.Is(err, core.ErrSLOShed) {
-			// The admission gate predicted an SLO bust: tell the caller
-			// to back off, not that the server malfunctioned.
-			writeError(w, http.StatusServiceUnavailable, err.Error())
-			return
-		}
-		writeError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	writeJSON(w, http.StatusOK, PredictResponse{
-		Label:       resp.Label,
-		Confidence:  resp.Confidence,
-		UsedDefault: resp.UsedDefault,
-		Missing:     resp.Missing,
-		Degraded:    resp.Degraded,
-		LatencyUS:   resp.Latency.Microseconds(),
-	})
-}
-
-func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
-	s.reqFeedback.Inc()
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
-	var req FeedbackRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
-		return
-	}
-	if len(req.Input) == 0 {
-		writeError(w, http.StatusBadRequest, "empty input")
-		return
-	}
-	app, ok := s.clipper.App(req.App)
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown app %q", req.App))
-		return
-	}
-	if err := app.FeedbackContext(r.Context(), req.Context, req.Input, req.Label); err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	writeJSON(w, http.StatusOK, StatusResponse{OK: true})
-}
-
-func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
-	type appInfo struct {
-		Name   string   `json:"name"`
-		Models []string `json:"models"`
-	}
-	var out []appInfo
-	for _, name := range s.appNames() {
-		app, ok := s.clipper.App(name)
-		if !ok {
-			continue
-		}
-		out = append(out, appInfo{Name: name, Models: app.ModelNames()})
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
-	models := s.clipper.Models()
-	sort.Strings(models)
-	writeJSON(w, http.StatusOK, models)
-}
-
-func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, StatusResponse{OK: true})
-}
-
-// handleMetrics serves the node's telemetry. The canonical format is
-// Prometheus text exposition (version 0.0.4), rendered from the core
-// registry; ?format=text keeps the historical human-readable dump for
-// eyeballs and the curl habit.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.reqMetrics.Inc()
-	if r.URL.Query().Get("format") == "text" {
-		s.handleMetricsText(w)
-		return
-	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := s.clipper.Metrics().WritePrometheus(w); err != nil {
-		// Invariant violations are caught before any byte is written, so
-		// this branch only fires on client-side write failures; the
-		// scrape is already lost either way.
-		writeError(w, http.StatusInternalServerError, err.Error())
-	}
-}
-
-func (s *Server) handleMetricsText(w http.ResponseWriter) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	for _, name := range s.appNames() {
-		app, ok := s.clipper.App(name)
-		if !ok {
-			continue
-		}
-		snap := app.PredLatency.Snapshot()
-		fmt.Fprintf(w, "app %s predictions=%d throughput=%.1fqps %s defaults=%d feedbacks=%d\n",
-			name, snap.Count, app.Throughput.RateSinceLastMark(), snap,
-			app.Defaults.Value(), app.Feedbacks.Value())
-	}
-	if c := s.clipper.Cache(); c != nil {
-		h, m := c.Stats()
-		fmt.Fprintf(w, "cache entries=%d/%d shards=%d hits=%d misses=%d hit_rate=%.3f\n",
-			c.Len(), c.Capacity(), c.Shards(), h, m, c.HitRate())
-	}
-	models := s.clipper.Models()
-	sort.Strings(models)
-	for _, model := range models {
-		for i, q := range s.clipper.ReplicaQueues(model) {
-			fmt.Fprintf(w, "queue %s/%d ctrl=%s max_batch=%d served=%d mean_batch=%.1f batch_lat_p99=%.3fms\n",
-				model, i, q.Controller().Name(), q.Controller().MaxBatch(),
-				q.Throughput.Count(), q.BatchSizes.Mean(), q.BatchLatency.P99()*1e3)
-		}
-	}
-}
-
-// appNames lists registered applications. The Clipper type intentionally
-// does not expose its app map; enumerate via AppNames.
-func (s *Server) appNames() []string { return s.clipper.AppNames() }
-
-func writeJSON(w http.ResponseWriter, code int, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, errorResponse{Error: msg})
-}
+// Wire types, re-exported from the adapter.
+type (
+	// PredictRequest is the JSON body of POST /api/v1/predict.
+	PredictRequest = httpjson.PredictRequest
+	// PredictResponse is the JSON reply to a prediction.
+	PredictResponse = httpjson.PredictResponse
+	// FeedbackRequest is the JSON body of POST /api/v1/feedback.
+	FeedbackRequest = httpjson.FeedbackRequest
+	// StatusResponse is the JSON reply to feedback and admin mutations.
+	StatusResponse = httpjson.StatusResponse
+	// RegisterAppRequest is the JSON body of POST /api/v1/admin/apps.
+	RegisterAppRequest = httpjson.RegisterAppRequest
+	// BatchPredictRequest is the JSON body of POST /api/v1/predict-batch.
+	BatchPredictRequest = httpjson.BatchPredictRequest
+	// BatchPredictResponse carries one PredictResponse per input.
+	BatchPredictResponse = httpjson.BatchPredictResponse
+	// DeployRequest is the JSON body of POST /api/v1/admin/deploy.
+	DeployRequest = httpjson.DeployRequest
+	// DeployResponse reports the deployed replica.
+	DeployResponse = httpjson.DeployResponse
+	// HealthRequest is the JSON body of POST /api/v1/admin/health.
+	HealthRequest = httpjson.HealthRequest
+)

@@ -1,0 +1,140 @@
+package perf
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"clipper/internal/adapter/binrpc"
+	"clipper/internal/adapter/httpjson"
+	"clipper/internal/batching"
+	"clipper/internal/core"
+	"clipper/internal/gateway"
+	"clipper/internal/selection"
+	"clipper/internal/workload"
+)
+
+// Open-loop adapter measurement: one node, one gateway core, the HTTP
+// and binrpc adapters bound to real loopback listeners, each driven by
+// workload.MeasureOpenLoop at the same fixed offered rate. The user
+// population is small and the prediction cache warm, so the server side
+// is nearly free and the measured tails are dominated by transport +
+// adapter cost — the quantity the _x ratio reports.
+
+const (
+	// openLoopRate is the offered rate per adapter. Modest on purpose:
+	// CI runners are single-core and the gate checks schema sanity, not
+	// absolute throughput.
+	openLoopRate = 250
+	// openLoopUsers is the Zipf user population (and the number of
+	// distinct input vectors, pre-warmed into the prediction cache).
+	openLoopUsers = 64
+	openLoopDim   = 8
+)
+
+// OpenLoopAdapterResult carries the per-adapter open-loop runs.
+type OpenLoopAdapterResult struct {
+	HTTP   workload.OpenLoopResult
+	Binrpc workload.OpenLoopResult
+}
+
+// OpenLoopAdapters boots an in-process node serving one static-policy
+// app over both the HTTP and binrpc adapters and measures each at
+// openLoopRate for roughly dur.
+func OpenLoopAdapters(dur time.Duration) OpenLoopAdapterResult {
+	cl := core.New(core.Config{})
+	defer cl.Close()
+	if _, err := cl.Deploy(&latencyPredictor{latency: time.Millisecond}, nil, batching.QueueConfig{
+		Controller: batching.NewFixed(16),
+		InFlight:   4,
+	}); err != nil {
+		panic(err)
+	}
+	app, err := cl.RegisterApp(core.AppConfig{
+		Name: "openloop", Models: []string{"latency"}, Policy: selection.NewStatic(0),
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Per-user deterministic inputs; warming them through the core puts
+	// every vector in the prediction cache before either adapter runs.
+	ctx := context.Background()
+	inputs := make([][]float64, openLoopUsers)
+	for u := range inputs {
+		x := make([]float64, openLoopDim)
+		x[0] = float64(u)
+		inputs[u] = x
+		if _, err := app.Predict(ctx, x); err != nil {
+			panic(err)
+		}
+	}
+
+	gw := gateway.New(cl)
+	rest := httpjson.New(gw)
+	restAddr, err := rest.Listen("127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer rest.Close()
+	brpc := binrpc.New(gw)
+	brpcAddr, err := brpc.Listen("127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	defer brpc.Close()
+
+	cfg := workload.OpenLoopConfig{
+		Process:  workload.ProcessPoisson,
+		Rate:     openLoopRate,
+		Duration: dur,
+		Seed:     17,
+		Users:    openLoopUsers,
+		ZipfS:    1.2,
+	}
+
+	// HTTP: pre-encoded bodies, pooled keep-alive connections.
+	bodies := make([][]byte, openLoopUsers)
+	for u := range bodies {
+		b, err := json.Marshal(httpjson.PredictRequest{App: "openloop", Input: inputs[u]})
+		if err != nil {
+			panic(err)
+		}
+		bodies[u] = b
+	}
+	hc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        openLoopUsers,
+		MaxIdleConnsPerHost: openLoopUsers,
+	}}
+	defer hc.CloseIdleConnections()
+	url := "http://" + restAddr + "/api/v1/predict"
+	var res OpenLoopAdapterResult
+	res.HTTP = workload.MeasureOpenLoop(ctx, cfg, func(user int) error {
+		resp, err := hc.Post(url, "application/json", bytes.NewReader(bodies[user]))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("predict: HTTP %d", resp.StatusCode)
+		}
+		return nil
+	})
+
+	// binrpc: one multiplexed connection; concurrent arrivals pipeline.
+	bc, err := binrpc.Dial(brpcAddr, time.Second)
+	if err != nil {
+		panic(err)
+	}
+	defer bc.Close()
+	res.Binrpc = workload.MeasureOpenLoop(ctx, cfg, func(user int) error {
+		_, err := bc.Predict(ctx, "openloop", "", inputs[user])
+		return err
+	})
+	return res
+}

@@ -62,35 +62,33 @@ func (s *UniformSampler) sample(i int) Sample {
 
 // ZipfSampler draws examples with Zipfian popularity: a few "hot" queries
 // dominate, which is the regime where the prediction cache pays off
-// (content recommendation in §4.2).
+// (content recommendation in §4.2). Rank selection delegates to the
+// shared Zipf sampler; the permutation spreads popularity across the
+// dataset so "hot" examples are not simply the lowest-indexed ones.
 type ZipfSampler struct {
-	ds *dataset.Dataset
-
-	mu   sync.Mutex
-	zipf *rand.Zipf
-	perm []int
+	ds   *dataset.Dataset
+	zipf *Zipf
+	perm []int // immutable after construction
 }
 
 // NewZipfSampler returns a sampler where the i-th most popular example is
 // drawn with probability ∝ 1/(i+1)^s. s must be > 1.
 func NewZipfSampler(ds *dataset.Dataset, s float64, seed int64) *ZipfSampler {
-	if s <= 1 {
-		s = 1.2
-	}
+	// One rng feeds both the permutation and the rank stream (the
+	// permutation is drawn first), keeping seeded runs byte-identical to
+	// the pre-shared-sampler sequence the experiments were recorded with.
 	rng := rand.New(rand.NewSource(seed))
+	zipf := newZipfRand(ds.Len(), s, rng)
 	return &ZipfSampler{
 		ds:   ds,
-		zipf: rand.NewZipf(rng, s, 1, uint64(ds.Len()-1)),
+		zipf: zipf,
 		perm: rng.Perm(ds.Len()),
 	}
 }
 
 // Next implements Sampler.
 func (z *ZipfSampler) Next() Sample {
-	z.mu.Lock()
-	rank := int(z.zipf.Uint64())
-	i := z.perm[rank]
-	z.mu.Unlock()
+	i := z.perm[z.zipf.Rank()]
 	out := Sample{X: z.ds.X[i], Label: z.ds.Y[i], Group: -1}
 	if z.ds.Group != nil {
 		out.Group = z.ds.Group[i]

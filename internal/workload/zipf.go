@@ -1,0 +1,43 @@
+package workload
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Zipf draws integer ranks in [0, n) with probability ∝ 1/(rank+1)^s:
+// the single seeded popularity sampler behind the dataset ZipfSampler,
+// the noisy-neighbor heavy tenant, and the open-loop generator's
+// per-user ID stream. Safe for concurrent use.
+type Zipf struct {
+	mu sync.Mutex
+	z  *rand.Zipf
+}
+
+// NewZipf returns a sampler over n ranks with skew s. rand.Zipf requires
+// s > 1, so s <= 1 selects 1.2, a typical popularity skew.
+func NewZipf(n int, s float64, seed int64) *Zipf {
+	return newZipfRand(n, s, rand.New(rand.NewSource(seed)))
+}
+
+// newZipfRand builds a Zipf over a caller-owned rng, for callers that
+// derive other seeded state (e.g. a permutation) from the same source
+// and need the combined draw sequence to stay reproducible. The rng
+// must not be used concurrently with Rank.
+func newZipfRand(n int, s float64, rng *rand.Rand) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	if s <= 1 {
+		s = 1.2
+	}
+	return &Zipf{z: rand.NewZipf(rng, s, 1, uint64(n-1))}
+}
+
+// Rank returns the next rank; 0 is the most popular.
+func (z *Zipf) Rank() int {
+	z.mu.Lock()
+	r := int(z.z.Uint64())
+	z.mu.Unlock()
+	return r
+}

@@ -2,7 +2,7 @@
 # bench_gate.sh — the CI bench-JSON gate.
 #
 # Runs the perf suite at smoke duration, then validates that the emitted
-# report and the committed BENCH_PR8.json both carry every required
+# report and the committed BENCH_PR10.json both carry every required
 # measurement with a finite, strictly positive value (cmd/bench -check).
 # Earlier BENCH_PR*.json reports are history, not gated: the required
 # measurement list grows PR over PR, so only the latest report can
@@ -14,5 +14,5 @@
 out="${BENCH_GATE_OUT:-/tmp/bench_gate.json}"
 run_perf "$out" -id bench-gate-smoke -dur "${BENCH_GATE_DUR:-500ms}"
 check_report "$out"
-check_report BENCH_PR8.json
+check_report BENCH_PR10.json
 echo "bench gate ok"

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# bench_pr10.sh — record the PR 10 performance trajectory.
+#
+# Runs the hot-path perf suite and writes the JSON report to
+# BENCH_PR10.json at the repo root. New in this report, alongside every
+# family carried forward from BENCH_PR8.json, is the open-loop adapter
+# family: the same gateway core behind real loopback listeners, measured
+# through two protocol adapters at the same fixed offered rate
+# (workload.MeasureOpenLoop, Poisson arrivals over a Zipf-popular
+# cache-warm user population) —
+#
+#   - openloop_http_p99_ms / openloop_http_qps: tail latency and served
+#     rate through the HTTP JSON adapter (keep-alive connection pool).
+#   - openloop_binrpc_p99_ms / openloop_binrpc_qps: the same load
+#     through the binary-RPC adapter on one pipelined connection.
+#   - openloop_adapter_overhead_x: HTTP p99 over binrpc p99 — what the
+#     JSON/HTTP wire costs relative to length-prefixed binary frames.
+#
+# The node is cache-warm and the model ~free, so the tails are
+# transport + adapter cost, not serving cost. The same surface runs end
+# to end (all three adapters incl. stream, real process, loadgen) in
+# scripts/check_adapters.sh.
+. "$(dirname "$0")/bench_lib.sh"
+run_perf BENCH_PR10.json -id pr10-openloop -dur "${BENCH_PR10_DUR:-2s}"
+check_report BENCH_PR10.json

@@ -155,7 +155,8 @@ for fam in \
   clipper_sched_replicas clipper_sched_submitted_total \
   clipper_app_predictions_total clipper_app_qos clipper_app_slo_seconds \
   clipper_tenant_served_total \
-  clipper_http_requests_total; do
+  clipper_http_requests_total \
+  clipper_gateway_requests_total; do
   grep -q "^$fam" "$workdir/metrics.txt" || {
     echo "FAIL: family $fam missing from live scrape" >&2
     status=1
